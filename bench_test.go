@@ -1,0 +1,430 @@
+package lruleak
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablation benches called out in DESIGN.md §5. Each bench regenerates its
+// experiment end to end; b.ReportMetric attaches the headline quantity so
+// `go test -bench` output doubles as a results table.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/perf"
+	"repro/internal/replacement"
+	"repro/internal/sched"
+	"repro/internal/spectre"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := TableI(1000, 1)
+		if len(cells) != 48 {
+			b.Fatal("table shape")
+		}
+	}
+}
+
+func BenchmarkFigure3PointerChase(b *testing.B) {
+	var sep int
+	for i := 0; i < b.N; i++ {
+		p := Figure3(SandyBridge(), 500, uint64(i+1))
+		if p.Separable {
+			sep++
+		}
+	}
+	b.ReportMetric(float64(sep)/float64(b.N), "separable-frac")
+}
+
+func BenchmarkFigure13SingleAccess(b *testing.B) {
+	var sep int
+	for i := 0; i < b.N; i++ {
+		p := Figure13(SandyBridge(), 500, uint64(i+1))
+		if p.Separable {
+			sep++
+		}
+	}
+	// Appendix A: this should stay at 0.
+	b.ReportMetric(float64(sep)/float64(b.N), "separable-frac")
+}
+
+func BenchmarkFigure4Alg1(b *testing.B) {
+	var err float64
+	for i := 0; i < b.N; i++ {
+		pts := Figure4(SandyBridge(), Alg1SharedMemory, 32, 2, uint64(i+1))
+		for _, p := range pts {
+			err += p.ErrorRate
+		}
+		err /= float64(len(pts))
+	}
+	b.ReportMetric(err, "mean-error-rate")
+}
+
+func BenchmarkFigure4Alg2(b *testing.B) {
+	var err float64
+	for i := 0; i < b.N; i++ {
+		pts := Figure4(SandyBridge(), Alg2NoSharedMemory, 32, 2, uint64(i+1))
+		for _, p := range pts {
+			err += p.ErrorRate
+		}
+		err /= float64(len(pts))
+	}
+	b.ReportMetric(err, "mean-error-rate")
+}
+
+func BenchmarkFigure5Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := Figure5(SandyBridge(), Alg1SharedMemory, 200, uint64(i+1))
+		if len(f.Trace.Observations) != 200 {
+			b.Fatal("trace length")
+		}
+	}
+}
+
+func BenchmarkFigure6TimeSliced(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		pts := Figure6(SandyBridge(), []uint64{10_000_000}, 40, uint64(i+1))
+		var f0, f1 float64
+		for _, p := range pts {
+			if p.D == 8 && p.SendingBit == 0 {
+				f0 = p.FractionOnes
+			}
+			if p.D == 8 && p.SendingBit == 1 {
+				f1 = p.FractionOnes
+			}
+		}
+		gap += f1 - f0
+	}
+	b.ReportMetric(gap/float64(b.N), "d8-separation")
+}
+
+func BenchmarkFigure7AMDTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := Figure7(Alg1SharedMemory, 300, uint64(i+1))
+		if len(f.Smoothed) != len(f.Trace.Observations) {
+			b.Fatal("smoothing length")
+		}
+	}
+}
+
+func BenchmarkFigure8AMDTimeSliced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := Figure6(Zen(), []uint64{10_000_000}, 30, uint64(i+1))
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFigure9ReplacementPolicies(b *testing.B) {
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		rows := Figure9(300_000, uint64(i+1))
+		var fifo []float64
+		for _, r := range rows {
+			fifo = append(fifo, r.NormCPI["FIFO"])
+		}
+		geo = geomean(fifo)
+	}
+	b.ReportMetric(geo, "fifo-cpi-vs-plru")
+}
+
+func BenchmarkFigure11PLCache(b *testing.B) {
+	var sep float64
+	for i := 0; i < b.N; i++ {
+		res := Figure11(150, uint64(i+1))
+		sep += res.Original.Separation - res.Fixed.Separation
+	}
+	b.ReportMetric(sep/float64(b.N), "leak-amplitude-removed")
+}
+
+func BenchmarkFigure14SkylakeTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := Figure5(Skylake(), Alg1SharedMemory, 200, uint64(i+1))
+		if len(f.Trace.Observations) != 200 {
+			b.Fatal("trace length")
+		}
+	}
+}
+
+func BenchmarkFigure15SkylakeTimeSliced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := Figure6(Skylake(), []uint64{10_000_000}, 30, uint64(i+1))
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := TableIV(32, 2, uint64(i+1))
+		if len(cells) != 8 {
+			b.Fatalf("table IV has %d cells", len(cells))
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	var lru float64
+	for i := 0; i < b.N; i++ {
+		rows := TableV(uint64(i + 1))
+		lru = float64(rows[0].LRU)
+	}
+	b.ReportMetric(lru, "lru-encode-cycles")
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := TableVI(100, uint64(i+1))
+		if len(rows) != 12 {
+			b.Fatalf("table VI has %d rows", len(rows))
+		}
+	}
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		rows := TableVII(EncodeString("KEY"), uint64(i+1))
+		for _, r := range rows {
+			if r.Disclosure == spectre.LRUAlg1 {
+				acc += r.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(acc/float64(2*b.N), "lru-alg1-recovery")
+}
+
+func BenchmarkSpectreLRUChannel(b *testing.B) {
+	secret := EncodeString("THE MAGIC WORDS ARE SQUEAMISH OSSIFRAGE")
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		a := NewSpectre(SpectreConfig{Disclosure: DiscLRUAlg1, Seed: uint64(i + 1)}, secret)
+		acc += a.Accuracy()
+	}
+	b.ReportMetric(acc/float64(b.N), "recovery-accuracy")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// Associativity sweep for the Table I study: eviction reliability of
+// Tree-PLRU Sequence 1 across 4/8/16 ways.
+func BenchmarkAblationAssociativity(b *testing.B) {
+	for _, ways := range []int{4, 8, 16} {
+		b.Run(benchName("ways", ways), func(b *testing.B) {
+			var p float64
+			for i := 0; i < b.N; i++ {
+				res := core.RunEvictionStudy(core.EvictionStudyConfig{
+					Policy: replacement.TreePLRU, Ways: ways,
+					Trials: 2000, Seed: uint64(i + 1),
+				}, core.InitSequential, core.Seq1)
+				p = res.Prob[0]
+			}
+			b.ReportMetric(p, "evict-prob-iter1")
+		})
+	}
+}
+
+// Pointer-chase chain-length sweep: how many local elements the probe needs
+// before hit and miss separate on the Sandy Bridge profile.
+func BenchmarkAblationChainLength(b *testing.B) {
+	for _, chain := range []int{3, 5, 7, 11, 15} {
+		b.Run(benchName("chain", chain), func(b *testing.B) {
+			var sep int
+			for i := 0; i < b.N; i++ {
+				s := NewChannel(ChannelConfig{ChainLen: chain, Seed: uint64(i + 1)})
+				if chaseSeparates(s) {
+					sep++
+				}
+			}
+			b.ReportMetric(float64(sep)/float64(b.N), "separable-frac")
+		})
+	}
+}
+
+// TSC-granularity sweep: at what readout quantum the single-shot channel
+// dies (the Intel vs AMD order-of-magnitude gap of Section VI).
+func BenchmarkAblationTSCGranularity(b *testing.B) {
+	for _, quantum := range []int{1, 4, 8, 16, 24, 48} {
+		b.Run(benchName("quantum", quantum), func(b *testing.B) {
+			prof := uarch.SandyBridge()
+			prof.TSCQuantum = quantum
+			var err float64
+			for i := 0; i < b.N; i++ {
+				s := NewChannel(ChannelConfig{
+					Profile: prof, Algorithm: Alg1SharedMemory,
+					Mode: sched.SMT, Tr: 600, Ts: 6000, Seed: uint64(i + 1),
+				})
+				err += s.MeasureErrorRate(32, 3).ErrorRate
+			}
+			b.ReportMetric(err/float64(b.N), "error-rate")
+		})
+	}
+}
+
+// d-parity ablation: the Section V-A observation that even d fails on
+// Tree-PLRU for Algorithm 2.
+func BenchmarkAblationDParity(b *testing.B) {
+	for _, d := range []int{1, 2, 4, 5} {
+		b.Run(benchName("d", d), func(b *testing.B) {
+			var err float64
+			for i := 0; i < b.N; i++ {
+				s := NewChannel(ChannelConfig{
+					Algorithm: Alg2NoSharedMemory, Mode: sched.SMT,
+					Tr: 600, Ts: 6000, D: d, Seed: uint64(i + 1),
+				})
+				err += s.MeasureErrorRate(32, 3).ErrorRate
+			}
+			b.ReportMetric(err/float64(b.N), "error-rate")
+		})
+	}
+}
+
+// Spectre rounds ablation: randomized-round averaging vs the prefetcher
+// (Appendix C).
+func BenchmarkAblationSpectreRounds(b *testing.B) {
+	secret := EncodeString("KEY")
+	for _, rounds := range []int{1, 4, 16} {
+		b.Run(benchName("rounds", rounds), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				a := NewSpectre(SpectreConfig{
+					Disclosure: DiscLRUAlg2, Prefetcher: PrefetchNextLine,
+					Rounds: rounds, Seed: uint64(i + 1),
+				}, secret)
+				acc += a.Accuracy()
+			}
+			b.ReportMetric(acc/float64(b.N), "recovery-accuracy")
+		})
+	}
+}
+
+// Minimum speculation window per disclosure primitive (Section VIII).
+func BenchmarkAblationSpeculationWindow(b *testing.B) {
+	secret := EncodeString("AB")
+	for _, d := range []struct {
+		name string
+		disc spectre.Disclosure
+	}{{"lru1", spectre.LRUAlg1}, {"lru2", spectre.LRUAlg2}, {"frmem", spectre.FRMem}} {
+		b.Run(d.name, func(b *testing.B) {
+			var w float64
+			for i := 0; i < b.N; i++ {
+				w = float64(spectre.MinimumWindow(
+					SpectreConfig{Disclosure: d.disc, Seed: uint64(i + 1)},
+					secret, 1.0, 4, 400))
+			}
+			b.ReportMetric(w, "min-window-cycles")
+		})
+	}
+}
+
+// Multi-set parallel channel (Section IV extension): per-bit accuracy and
+// effective parallel throughput with 4 lanes.
+func BenchmarkMultiSetChannel(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		m := NewMultiChannel(ChannelConfig{
+			Algorithm: Alg1SharedMemory, Mode: sched.SMT,
+			Tr: 2000, Ts: 20_000, Seed: uint64(i + 1),
+		}, []int{3, 9, 17, 30})
+		acc += m.MeasureWordAccuracy([][]byte{{1, 0, 1, 0}, {0, 1, 1, 0}}, 100)
+	}
+	b.ReportMetric(acc/float64(b.N), "per-bit-accuracy")
+}
+
+// InvisiSpec mitigation (Section IX-B): recovery accuracy with and without.
+func BenchmarkAblationInvisiSpec(b *testing.B) {
+	secret := EncodeString("KEY")
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				a := NewSpectre(SpectreConfig{
+					Disclosure: DiscLRUAlg1, InvisiSpec: on, Seed: uint64(i + 1),
+				}, secret)
+				acc += a.Accuracy()
+			}
+			b.ReportMetric(acc/float64(b.N), "recovery-accuracy")
+		})
+	}
+}
+
+// Detection evasion (Sections VII/X): fraction of runs in which a
+// miss-rate monitor flags the F+R sender but not the LRU sender.
+func BenchmarkDetectionEvasion(b *testing.B) {
+	var evaded int
+	for i := 0; i < b.N; i++ {
+		m := detect.NewMonitor(detect.Thresholds{})
+		sFR := NewChannel(ChannelConfig{Algorithm: Alg1SharedMemory, Mode: sched.SMT,
+			Tr: 600, Ts: 6000, Seed: uint64(2*i + 1)})
+		NewBaseline(FlushReloadMem, sFR).Run([]byte{1, 0}, true, 600, 1<<40)
+		sLRU := NewChannel(ChannelConfig{Algorithm: Alg1SharedMemory, Mode: sched.SMT,
+			Tr: 600, Ts: 6000, Seed: uint64(2*i + 2)})
+		sLRU.Run([]byte{1, 0}, true, 600, 1<<40)
+		frCaught := m.ClassifyProcess(sFR.Hier, core.ReqSender) == detect.Suspicious
+		lruMissed := m.ClassifyProcess(sLRU.Hier, core.ReqSender) == detect.Benign
+		if frCaught && lruMissed {
+			evaded++
+		}
+	}
+	b.ReportMetric(float64(evaded)/float64(b.N), "fr-caught-lru-missed")
+}
+
+// --- helpers ---
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func geomean(xs []float64) float64 { return perf.GeoMean(xs) }
+
+func chaseSeparates(s *Channel) bool {
+	target := s.ReceiverLines[0]
+	var hits, misses []float64
+	for i := 0; i < 200; i++ {
+		s.Hier.Load(target, 1)
+		s.Chaser.WarmUp()
+		hits = append(hits, s.Chaser.Measure(target).Observed)
+		s.Hier.L1().Flush(target.PhysLine)
+		s.Chaser.WarmUp()
+		misses = append(misses, s.Chaser.Measure(target).Observed)
+		s.Hier.Flush(target.PhysLine)
+	}
+	th := otsu(append(append([]float64{}, hits...), misses...))
+	wrong := 0
+	for _, v := range hits {
+		if v > th {
+			wrong++
+		}
+	}
+	for _, v := range misses {
+		if v <= th {
+			wrong++
+		}
+	}
+	return float64(wrong)/float64(len(hits)+len(misses)) < 0.05
+}
+
+func otsu(xs []float64) float64 { return stats.OtsuThreshold(xs) }

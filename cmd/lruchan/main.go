@@ -1,0 +1,73 @@
+// Command lruchan regenerates the LRU-channel figures of the paper:
+// latency histograms (Figures 3, 13), error-rate sweeps (Figure 4),
+// receiver traces (Figures 5, 7, 14), and the time-sliced percent-of-ones
+// sweeps (Figures 6, 8, 15).
+//
+// Usage:
+//
+//	lruchan -fig 3  [-cpu sandy|skylake|zen] [-seed N]
+//	lruchan -fig 4  [-alg 1|2] [-bits 128] [-repeats 30]
+//	lruchan -fig 5  [-alg 1|2] [-samples 200]
+//	lruchan -fig 6  [-samples 100]
+//	lruchan -fig 7  [-alg 1|2] [-samples 1400]
+//	lruchan -fig 8 | -fig 13 | -fig 14 | -fig 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 5, "figure number to regenerate (3,4,5,6,7,8,13,14,15)")
+		cpu     = flag.String("cpu", "sandy", "CPU profile: sandy, skylake or zen")
+		alg     = flag.Int("alg", 1, "channel protocol: 1 (shared memory) or 2 (no shared memory)")
+		samples = flag.Int("samples", 200, "receiver samples for trace figures")
+		bits    = flag.Int("bits", 64, "message bits per trial (Figure 4; the paper uses 128)")
+		repeats = flag.Int("repeats", 4, "message repetitions (Figure 4; the paper uses 30)")
+		seed    = flag.Uint64("seed", 2020, "experiment seed")
+	)
+	flag.Parse()
+
+	prof, err := lruleak.ProfileByName(*cpu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	algorithm := lruleak.Alg1SharedMemory
+	if *alg == 2 {
+		algorithm = lruleak.Alg2NoSharedMemory
+	}
+
+	switch *fig {
+	case 3:
+		fmt.Print(lruleak.Figure3(prof, 5000, *seed).Render())
+	case 4:
+		pts := lruleak.Figure4(prof, algorithm, *bits, *repeats, *seed)
+		fmt.Print(lruleak.RenderFigure4(pts))
+	case 5:
+		fmt.Print(lruleak.Figure5(prof, algorithm, *samples, *seed).Render())
+	case 6:
+		pts := lruleak.Figure6(prof, nil, *samples, *seed)
+		fmt.Print(lruleak.RenderFigure6(pts))
+	case 7:
+		fmt.Print(lruleak.Figure7(algorithm, *samples, *seed).Render())
+	case 8:
+		pts := lruleak.Figure6(lruleak.Zen(), nil, *samples, *seed)
+		fmt.Print(lruleak.RenderFigure6(pts))
+	case 13:
+		fmt.Print(lruleak.Figure13(prof, 5000, *seed).Render())
+	case 14:
+		fmt.Print(lruleak.Figure5(lruleak.Skylake(), algorithm, *samples, *seed).Render())
+	case 15:
+		pts := lruleak.Figure6(lruleak.Skylake(), nil, *samples, *seed)
+		fmt.Print(lruleak.RenderFigure6(pts))
+	default:
+		fmt.Fprintf(os.Stderr, "lruchan: no driver for figure %d\n", *fig)
+		os.Exit(2)
+	}
+}

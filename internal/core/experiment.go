@@ -1,0 +1,171 @@
+package core
+
+import (
+	"repro/internal/stats"
+)
+
+// Trace is the outcome of a channel run: the receiver's raw observation
+// sequence plus derived quantities.
+type Trace struct {
+	Observations []Observation
+	// Threshold is the hit/miss latency split chosen by Otsu's method
+	// over the whole trace (the red dotted line of Figure 5).
+	Threshold float64
+	// Elapsed is the simulated wall time of the run in cycles.
+	Elapsed uint64
+	// BitsSent counts complete bit periods the sender transmitted.
+	BitsSent int
+}
+
+// Latencies returns the observed latencies as a plain slice.
+func (t *Trace) Latencies() []float64 {
+	out := make([]float64, len(t.Observations))
+	for i, o := range t.Observations {
+		out[i] = o.Latency
+	}
+	return out
+}
+
+// RawBits classifies each observation into a received bit using the trace
+// threshold and the protocol polarity (Algorithm 1: fast = 1; Algorithm 2:
+// slow = 1).
+func (t *Trace) RawBits(hitMeansOne bool) []byte {
+	bits := make([]byte, len(t.Observations))
+	for i, o := range t.Observations {
+		isHit := o.Latency <= t.Threshold
+		if isHit == hitMeansOne {
+			bits[i] = 1
+		} else {
+			bits[i] = 0
+		}
+	}
+	return bits
+}
+
+// FractionOnes returns the fraction of decoded 1s — the metric of the
+// time-sliced experiments (Figures 6, 8, 15).
+func (t *Trace) FractionOnes(hitMeansOne bool) float64 {
+	bits := t.RawBits(hitMeansOne)
+	if len(bits) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, b := range bits {
+		ones += int(b)
+	}
+	return float64(ones) / float64(len(bits))
+}
+
+// Run executes the channel: the sender transmits message (repeating if
+// repeat is set) while the receiver samples, until either maxSamples
+// receiver observations have been collected or wallLimit cycles elapse.
+func (s *Setup) Run(message []byte, repeat bool, maxSamples int, wallLimit uint64) *Trace {
+	m := s.NewMachine()
+	var obs []Observation
+	s.WarmSender()
+	m.AddThread("sender", ReqSender, s.SenderProgram(message, repeat))
+	m.AddThread("receiver", ReqReceiver, s.ReceiverProgram(&obs, maxSamples))
+	for i := 0; i < s.Cfg.NoiseThreads; i++ {
+		m.AddThread("noise", ReqOther, s.NoiseProgram())
+	}
+	m.Run(wallLimit)
+
+	tr := &Trace{Observations: obs, Elapsed: m.Now()}
+	tr.Threshold = stats.OtsuThreshold(tr.Latencies())
+	if s.Cfg.Ts > 0 {
+		tr.BitsSent = int(tr.Elapsed / s.Cfg.Ts)
+		if !repeat && tr.BitsSent > len(message) {
+			tr.BitsSent = len(message)
+		}
+	}
+	return tr
+}
+
+// ErrorRateResult is one point of Figure 4.
+type ErrorRateResult struct {
+	ErrorRate float64 // best-alignment edit distance per sent bit
+	// RateBps is the effective transmission rate in bits/second at the
+	// profile's clock frequency.
+	RateBps float64
+	Samples int
+}
+
+// MeasureErrorRate reproduces the Section V methodology: the sender
+// transmits a random message of msgBits repeatedly at least repeats times;
+// the receiver's samples are majority-decoded per bit period and the
+// Wagner–Fischer edit distance to the sent string, minimized over
+// alignments, gives the error rate.
+func (s *Setup) MeasureErrorRate(msgBits, repeats int) ErrorRateResult {
+	message := s.RNG.Split().Bits(msgBits)
+	wall := s.Cfg.Ts * uint64(msgBits) * uint64(repeats+1)
+	tr := s.Run(message, true, 0, wall)
+
+	raw := tr.RawBits(s.HitMeansOne())
+	// Each transmitted bit spans about Ts/Tr receiver samples; collapse
+	// runs by majority vote, then align.
+	perBit := float64(s.Cfg.Ts) / float64(s.Cfg.Tr)
+	if len(tr.Observations) > 1 {
+		// Calibrate with the actually achieved sampling period, which
+		// exceeds Tr when the receiver's work per sample is longer.
+		span := tr.Observations[len(tr.Observations)-1].Wall - tr.Observations[0].Wall
+		achieved := float64(span) / float64(len(tr.Observations)-1)
+		if achieved > 0 {
+			perBit = float64(s.Cfg.Ts) / achieved
+		}
+	}
+	if perBit < 1 {
+		perBit = 1
+	}
+	decoded := stats.RunLengthDecode(raw, perBit)
+
+	rate := stats.BestAlignmentErrorRate(message, decoded, 0)
+	prof := s.Hier.Profile()
+	return ErrorRateResult{
+		ErrorRate: rate,
+		RateBps:   prof.BitsPerSecond(float64(s.Cfg.Ts)),
+		Samples:   len(tr.Observations),
+	}
+}
+
+// MeasureFractionOnes runs the time-sliced experiment of Figure 6/8: the
+// sender constantly transmits the single bit `bit`; the receiver takes
+// measurements samples; the fraction of decoded 1s is returned. A fixed
+// latency threshold is derived from the profile (midway between L1 and L2
+// latency through the chase), because in the time-sliced setting a run may
+// be all-hits or all-misses and Otsu would split noise.
+func (s *Setup) MeasureFractionOnes(bit byte, measurements int) float64 {
+	wall := s.Cfg.Tr*uint64(measurements+2) + 10_000_000
+	tr := s.Run([]byte{bit}, true, measurements, wall)
+	th := s.FixedThreshold()
+	ones := 0
+	for _, o := range tr.Observations {
+		isHit := o.Latency <= th
+		if isHit == s.HitMeansOne() {
+			ones++
+		}
+	}
+	if len(tr.Observations) == 0 {
+		return 0
+	}
+	return float64(ones) / float64(len(tr.Observations))
+}
+
+// FixedThreshold returns the profile-derived hit/miss latency split for a
+// full pointer-chase probe: chase floor plus the midpoint of the L1 and L2
+// latencies plus measurement overhead.
+func (s *Setup) FixedThreshold() float64 {
+	prof := s.Hier.Profile()
+	chain := len(s.Chaser.Elements())
+	base := float64(chain*prof.L1Latency + prof.MeasureOverhead)
+	return base + float64(prof.L1Latency+prof.L2Latency)/2
+}
+
+// EncodeCost returns the sender's encoding latency in cycles for one bit —
+// the LRU-channel column of Table V: the address-computation overhead plus
+// a single L1 hit (the victim line is warm).
+func (s *Setup) EncodeCost() int {
+	s.WarmSender()
+	res := s.Hier.Load(s.SenderLine, ReqSender)
+	const addressComputation = 27 // cycles of gadget arithmetic (Table V)
+	return addressComputation + res.Latency
+}

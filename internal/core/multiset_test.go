@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func multiCfg(seed uint64) Config {
+	return Config{
+		Algorithm: Alg1SharedMemory, Mode: sched.SMT,
+		Tr: 2000, Ts: 20_000, Seed: seed,
+	}
+}
+
+func TestNewMultiSetupValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty set list")
+		}
+	}()
+	NewMultiSetup(multiCfg(1), nil)
+}
+
+func TestNewMultiSetupRejectsReservedSet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for reserved-set collision")
+		}
+	}()
+	NewMultiSetup(multiCfg(1), []int{5, 63})
+}
+
+func TestMultiSetupLanesDistinct(t *testing.T) {
+	m := NewMultiSetup(multiCfg(2), []int{3, 9, 17, 30})
+	if m.Lanes() != 4 {
+		t.Fatalf("lanes = %d", m.Lanes())
+	}
+	for lane, set := range m.TargetSets {
+		for i, l := range m.receiverLines[lane] {
+			if got := m.Hier.L1().SetIndex(l.PhysLine); got != set {
+				t.Errorf("lane %d line %d in set %d, want %d", lane, i, got, set)
+			}
+		}
+		if got := m.Hier.L1().SetIndex(m.senderLines[lane].PhysLine); got != set {
+			t.Errorf("lane %d sender line in set %d, want %d", lane, got, set)
+		}
+	}
+}
+
+func TestMultiSetupAlg1SharesLineZero(t *testing.T) {
+	m := NewMultiSetup(multiCfg(3), []int{3, 9})
+	for lane := range m.TargetSets {
+		if m.senderLines[lane].PhysLine != m.receiverLines[lane][0].PhysLine {
+			t.Errorf("lane %d: sender and receiver line 0 differ", lane)
+		}
+	}
+}
+
+// The headline extension property: four lanes transfer four bits per
+// symbol with high per-bit accuracy under SMT.
+func TestMultiSetTransfersParallelBits(t *testing.T) {
+	m := NewMultiSetup(multiCfg(4), []int{3, 9, 17, 30})
+	words := [][]byte{
+		{1, 0, 1, 0},
+		{0, 1, 0, 1},
+		{1, 1, 0, 0},
+	}
+	acc := m.MeasureWordAccuracy(words, 150)
+	if acc < 0.85 {
+		t.Errorf("parallel decode accuracy %v, want >= 0.85", acc)
+	}
+}
+
+func TestMultiSetAlg2Works(t *testing.T) {
+	cfg := multiCfg(5)
+	cfg.Algorithm = Alg2NoSharedMemory
+	cfg.D = 1
+	m := NewMultiSetup(cfg, []int{4, 11})
+	words := [][]byte{{1, 0}, {0, 1}}
+	acc := m.MeasureWordAccuracy(words, 120)
+	if acc < 0.75 {
+		t.Errorf("Algorithm 2 parallel accuracy %v", acc)
+	}
+}
+
+func TestMultiSetThroughputScalesWithLanes(t *testing.T) {
+	// Same wall time, more lanes -> more correctly received bits.
+	count := func(sets []int) int {
+		m := NewMultiSetup(multiCfg(6), sets)
+		word := make([]byte, len(sets))
+		for i := range word {
+			word[i] = byte(i % 2)
+		}
+		obs := m.Run([][]byte{word}, true, 100, 1<<40)
+		decoded := m.DecodeSweeps(obs)
+		ok := 0
+		for _, bits := range decoded {
+			for lane, b := range bits {
+				if b == word[lane] {
+					ok++
+				}
+			}
+		}
+		return ok
+	}
+	one := count([]int{3})
+	four := count([]int{3, 9, 17, 30})
+	if four < 3*one {
+		t.Errorf("4 lanes delivered %d correct bits vs %d for 1 lane; expected ~4x", four, one)
+	}
+}
+
+func TestDecodeSweepsShape(t *testing.T) {
+	m := NewMultiSetup(multiCfg(7), []int{3, 9})
+	obs := []MultiObservation{{Latencies: []float64{30, 50}}}
+	bits := m.DecodeSweeps(obs)
+	if len(bits) != 1 || len(bits[0]) != 2 {
+		t.Fatalf("decode shape %v", bits)
+	}
+	// Algorithm 1: fast = 1, slow = 0.
+	if bits[0][0] != 1 || bits[0][1] != 0 {
+		t.Errorf("decoded %v, want [1 0]", bits[0])
+	}
+}

@@ -1,0 +1,129 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/replacement"
+	"repro/internal/workload"
+)
+
+func fig9Policies() []replacement.Kind {
+	return []replacement.Kind{replacement.TreePLRU, replacement.FIFO, replacement.Random}
+}
+
+func TestRunBenchmarkSane(t *testing.T) {
+	g, _ := workload.ByName("gcc", 1)
+	res := RunBenchmark(g, Config{Policy: replacement.TreePLRU, Instructions: 300_000})
+	if res.Benchmark != "gcc" {
+		t.Errorf("benchmark name %q", res.Benchmark)
+	}
+	if res.L1DMissRate < 0 || res.L1DMissRate > 1 {
+		t.Errorf("miss rate %v", res.L1DMissRate)
+	}
+	if res.CPI < baseCPI {
+		t.Errorf("CPI %v below base %v", res.CPI, baseCPI)
+	}
+}
+
+func TestStreamingWorkloadMissesHard(t *testing.T) {
+	// libquantum's 8 MiB sweep cannot live in a 64 KiB L1.
+	g, _ := workload.ByName("libquantum", 1)
+	res := RunBenchmark(g, Config{Policy: replacement.TreePLRU, Instructions: 600_000})
+	if res.L1DMissRate < 0.5 {
+		t.Errorf("streaming L1D miss rate %v, want high", res.L1DMissRate)
+	}
+}
+
+func TestHotWorkloadHitsWell(t *testing.T) {
+	// perlbench's hot set fits easily.
+	g, _ := workload.ByName("perlbench", 1)
+	res := RunBenchmark(g, Config{Policy: replacement.TreePLRU, Instructions: 600_000})
+	if res.L1DMissRate > 0.2 {
+		t.Errorf("hot-set L1D miss rate %v, want low", res.L1DMissRate)
+	}
+}
+
+// The Figure 9 claims: (a) FIFO and Random degrade the L1D miss rate only
+// slightly overall; (b) CPI changes stay within ~2% in geometric mean.
+func TestFigure9RelativeShape(t *testing.T) {
+	results := RunSuite(fig9Policies(), Config{Instructions: 400_000, Seed: 9})
+	if len(results) != 3 || len(results[0]) != 12 {
+		t.Fatalf("suite shape %dx%d", len(results), len(results[0]))
+	}
+	cpi := Normalized(results, true)
+	for p := 1; p < 3; p++ {
+		gm := GeoMean(cpi[p])
+		if math.Abs(gm-1) > 0.05 {
+			t.Errorf("policy %v: normalized CPI geomean %v, want within 5%% of 1",
+				results[p][0].Policy, gm)
+		}
+	}
+	miss := Normalized(results, false)
+	for p := 1; p < 3; p++ {
+		gm := GeoMean(nonZero(miss[p]))
+		if gm > 1.6 || gm < 0.6 {
+			t.Errorf("policy %v: normalized miss-rate geomean %v, want mild change",
+				results[p][0].Policy, gm)
+		}
+	}
+}
+
+// Some benchmarks prefer FIFO/Random over Tree-PLRU (the paper notes FIFO
+// and Random "sometimes have an even smaller cache miss rate"). With a
+// strided conflict-heavy workload, LRU-family thrashing shows.
+func TestSomeBenchmarkPrefersNonLRU(t *testing.T) {
+	results := RunSuite(fig9Policies(), Config{Instructions: 400_000, Seed: 9})
+	better := 0
+	for b := range results[0] {
+		if results[1][b].L1DMissRate < results[0][b].L1DMissRate-1e-9 ||
+			results[2][b].L1DMissRate < results[0][b].L1DMissRate-1e-9 {
+			better++
+		}
+	}
+	if better == 0 {
+		t.Error("no benchmark preferred FIFO or Random; Figure 9's mixed picture lost")
+	}
+}
+
+func TestNormalizedBaseIsOne(t *testing.T) {
+	results := RunSuite(fig9Policies(), Config{Instructions: 200_000, Seed: 4})
+	cpi := Normalized(results, true)
+	for b, v := range cpi[0] {
+		if v != 1 {
+			t.Errorf("baseline normalized CPI[%d] = %v", b, v)
+		}
+	}
+	if Normalized(nil, true) != nil {
+		t.Error("Normalized(nil) != nil")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g1, _ := workload.ByName("mcf", 2)
+	g2, _ := workload.ByName("mcf", 2)
+	a := RunBenchmark(g1, Config{Policy: replacement.Random, Instructions: 200_000, Seed: 5})
+	b := RunBenchmark(g2, Config{Policy: replacement.Random, Instructions: 200_000, Seed: 5})
+	if a != b {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func nonZero(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}

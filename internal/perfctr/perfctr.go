@@ -1,0 +1,83 @@
+// Package perfctr renders the hardware-performance-counter views used by
+// Tables VI and VII: per-process cache references and miss rates at every
+// level of the hierarchy, as Linux perf would report them. In the simulator
+// the counters are exact (the cache layer attributes every access to a
+// requestor id).
+package perfctr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/hier"
+)
+
+// LevelCounters is the per-level counter triple for one process.
+type LevelCounters struct {
+	Level    string
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (l LevelCounters) MissRate() float64 {
+	if l.Accesses == 0 {
+		return 0
+	}
+	return float64(l.Misses) / float64(l.Accesses)
+}
+
+// Report is the perf view of one process (requestor id) over a run.
+type Report struct {
+	Requestor int
+	L1D       LevelCounters
+	L2        LevelCounters
+	LLC       LevelCounters
+	HasLLC    bool
+}
+
+// Collect reads the per-requestor counters out of the hierarchy.
+func Collect(h *hier.Hierarchy, requestor int) Report {
+	rep := Report{Requestor: requestor}
+	rep.L1D = fromStats("L1D", h.L1().RequestorStats(requestor))
+	rep.L2 = fromStats("L2", h.L2().RequestorStats(requestor))
+	if llc := h.LLC(); llc != nil {
+		rep.HasLLC = true
+		rep.LLC = fromStats("LLC", llc.RequestorStats(requestor))
+	}
+	return rep
+}
+
+func fromStats(level string, s cache.Stats) LevelCounters {
+	return LevelCounters{Level: level, Accesses: s.Accesses, Misses: s.Misses}
+}
+
+// CollectCombined merges the counters of several requestors (Table VII
+// reports victim + attacker together during a Spectre run).
+func CollectCombined(h *hier.Hierarchy, requestors ...int) Report {
+	var rep Report
+	rep.Requestor = -1
+	rep.L1D.Level, rep.L2.Level, rep.LLC.Level = "L1D", "L2", "LLC"
+	for _, r := range requestors {
+		one := Collect(h, r)
+		rep.L1D.Accesses += one.L1D.Accesses
+		rep.L1D.Misses += one.L1D.Misses
+		rep.L2.Accesses += one.L2.Accesses
+		rep.L2.Misses += one.L2.Misses
+		rep.LLC.Accesses += one.LLC.Accesses
+		rep.LLC.Misses += one.LLC.Misses
+		rep.HasLLC = rep.HasLLC || one.HasLLC
+	}
+	return rep
+}
+
+// String renders the report in the Table VI style.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "L1D %6.2f%%  L2 %6.2f%%", 100*r.L1D.MissRate(), 100*r.L2.MissRate())
+	if r.HasLLC {
+		fmt.Fprintf(&b, "  LLC %6.2f%%", 100*r.LLC.MissRate())
+	}
+	return b.String()
+}

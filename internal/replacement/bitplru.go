@@ -1,0 +1,66 @@
+package replacement
+
+import "strings"
+
+// bitPLRU implements the Bit-PLRU / MRU policy of Section II-B: one MRU bit
+// per way. Accessing a way sets its bit; once every bit is set, ALL bits are
+// reset to 0 (including the just-accessed way's — the paper's Section II-B
+// wording is literal here, and the Table I convergence behaviour depends on
+// it). The victim is the lowest-indexed way whose MRU bit is clear, or way
+// 0 immediately after a rollover.
+type bitPLRU struct {
+	mru []byte // 0 or 1 per way
+}
+
+func newBitPLRU(ways int) *bitPLRU {
+	return &bitPLRU{mru: make([]byte, ways)}
+}
+
+func (p *bitPLRU) Name() string { return "Bit-PLRU" }
+func (p *bitPLRU) Ways() int    { return len(p.mru) }
+
+func (p *bitPLRU) Reset() {
+	for i := range p.mru {
+		p.mru[i] = 0
+	}
+}
+
+func (p *bitPLRU) OnAccess(way int) {
+	checkWay(way, len(p.mru))
+	p.mru[way] = 1
+	for _, b := range p.mru {
+		if b == 0 {
+			return
+		}
+	}
+	// All bits set: generation rollover. Every bit clears, the accessed
+	// way's included.
+	for i := range p.mru {
+		p.mru[i] = 0
+	}
+}
+
+func (p *bitPLRU) Victim() int {
+	for w, b := range p.mru {
+		if b == 0 {
+			return w
+		}
+	}
+	// Unreachable: rollover guarantees at least one clear bit.
+	return 0
+}
+
+func (p *bitPLRU) Clone() Policy {
+	c := &bitPLRU{mru: make([]byte, len(p.mru))}
+	copy(c.mru, p.mru)
+	return c
+}
+
+func (p *bitPLRU) StateString() string {
+	var b strings.Builder
+	b.WriteString("mru:")
+	for _, v := range p.mru {
+		b.WriteByte('0' + v)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+// Package replacement implements the cache replacement policies studied in
+// the paper: true LRU, Tree-PLRU (So & Rechtschaffen), Bit-PLRU / MRU
+// (Malamy et al.), FIFO, and Random. The Tree-PLRU and Bit-PLRU update and
+// victim-selection rules follow Section II-B of the paper bit-for-bit; the
+// Table I eviction-probability study and every channel experiment run on
+// top of these implementations.
+//
+// One Policy instance tracks the access history of a single cache set. The
+// containing cache is responsible for filling invalid ways first; a Policy
+// is only consulted for a victim when the set is full.
+package replacement
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Policy tracks replacement state for one cache set and chooses eviction
+// victims.
+type Policy interface {
+	// Name identifies the policy (for reports).
+	Name() string
+	// Ways returns the associativity this instance was built for.
+	Ways() int
+	// OnAccess records a use of the given way. Called on every hit and,
+	// by convention, after every fill (both hits and misses update LRU
+	// state — the property the whole attack rests on).
+	OnAccess(way int)
+	// Victim returns the way that would be evicted next. It must not
+	// mutate state: policies are consulted speculatively (e.g. by the
+	// PL cache, which may veto the eviction).
+	Victim() int
+	// Reset returns the state to its power-on value.
+	Reset()
+	// Clone returns an independent copy with identical state.
+	Clone() Policy
+	// StateString renders the internal state compactly for traces and
+	// debugging (e.g. "tree:0110101" or "mru:10011010").
+	StateString() string
+}
+
+// Kind names a replacement policy family.
+type Kind int
+
+// The policy families implemented by this package.
+const (
+	TrueLRU Kind = iota
+	TreePLRU
+	BitPLRU
+	FIFO
+	Random
+)
+
+// String returns the conventional name of the policy family.
+func (k Kind) String() string {
+	switch k {
+	case TrueLRU:
+		return "LRU"
+	case TreePLRU:
+		return "Tree-PLRU"
+	case BitPLRU:
+		return "Bit-PLRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a policy name (case-insensitive, with or without the dash)
+// back to its Kind, for command-line flags.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.ReplaceAll(s, "-", "")) {
+	case "lru", "truelru":
+		return TrueLRU, nil
+	case "treeplru", "plru", "tree":
+		return TreePLRU, nil
+	case "bitplru", "mru", "bit":
+		return BitPLRU, nil
+	case "fifo", "roundrobin":
+		return FIFO, nil
+	case "random", "rand":
+		return Random, nil
+	default:
+		return 0, fmt.Errorf("replacement: unknown policy %q", s)
+	}
+}
+
+// Kinds lists every implemented policy family, in presentation order.
+func Kinds() []Kind { return []Kind{TrueLRU, TreePLRU, BitPLRU, FIFO, Random} }
+
+// New constructs a policy of the given kind for a set with the given
+// associativity. r supplies randomness and is only consulted by Random; it
+// may be nil for the other kinds. New panics if ways < 1, if Tree-PLRU is
+// requested with a non-power-of-two associativity, or if Random is
+// requested without a generator.
+func New(kind Kind, ways int, r *rng.Rand) Policy {
+	if ways < 1 {
+		panic("replacement: ways must be >= 1")
+	}
+	switch kind {
+	case TrueLRU:
+		return newTrueLRU(ways)
+	case TreePLRU:
+		return newTreePLRU(ways)
+	case BitPLRU:
+		return newBitPLRU(ways)
+	case FIFO:
+		return newFIFO(ways)
+	case Random:
+		if r == nil {
+			panic("replacement: Random policy requires a generator")
+		}
+		return newRandom(ways, r)
+	default:
+		panic(fmt.Sprintf("replacement: unknown kind %d", int(kind)))
+	}
+}
+
+func checkWay(way, ways int) {
+	if way < 0 || way >= ways {
+		panic(fmt.Sprintf("replacement: way %d out of range [0,%d)", way, ways))
+	}
+}

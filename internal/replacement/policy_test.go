@@ -1,0 +1,463 @@
+package replacement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		TrueLRU:  "LRU",
+		TreePLRU: "Tree-PLRU",
+		BitPLRU:  "Bit-PLRU",
+		FIFO:     "FIFO",
+		Random:   "Random",
+		Kind(99): "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	good := map[string]Kind{
+		"lru": TrueLRU, "LRU": TrueLRU, "TrueLRU": TrueLRU,
+		"tree-plru": TreePLRU, "TreePLRU": TreePLRU, "plru": TreePLRU,
+		"bit-plru": BitPLRU, "MRU": BitPLRU,
+		"fifo": FIFO, "round-robin": FIFO,
+		"random": Random, "rand": Random,
+	}
+	for s, want := range good {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("belady"); err == nil {
+		t.Error("ParseKind accepted an unknown policy")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero ways":          func() { New(TrueLRU, 0, nil) },
+		"non-pow2 tree":      func() { New(TreePLRU, 6, nil) },
+		"random without rng": func() { New(Random, 8, nil) },
+		"unknown kind":       func() { New(Kind(42), 8, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOnAccessPanicsOutOfRange(t *testing.T) {
+	r := rng.New(1)
+	for _, k := range Kinds() {
+		p := New(k, 8, r)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: OnAccess(8) on 8-way did not panic", p.Name())
+				}
+			}()
+			p.OnAccess(8)
+		}()
+	}
+}
+
+// Accessing ways 0..N-1 in order must leave way 0 as the victim for LRU,
+// Tree-PLRU, and Bit-PLRU — the sequential-fill behaviour that Algorithms 1
+// and 2 depend on.
+func TestSequentialFillVictimIsZero(t *testing.T) {
+	for _, k := range []Kind{TrueLRU, TreePLRU, BitPLRU} {
+		p := New(k, 8, nil)
+		for w := 0; w < 8; w++ {
+			p.OnAccess(w)
+		}
+		if v := p.Victim(); v != 0 {
+			t.Errorf("%s: victim after sequential fill = %d, want 0", p.Name(), v)
+		}
+	}
+}
+
+// After re-touching way 0 (the sender's encoding access of Algorithm 1 with
+// m=1), way 0 must no longer be the victim.
+func TestRetouchProtectsWayZero(t *testing.T) {
+	for _, k := range []Kind{TrueLRU, TreePLRU, BitPLRU} {
+		p := New(k, 8, nil)
+		for w := 0; w < 8; w++ {
+			p.OnAccess(w)
+		}
+		p.OnAccess(0)
+		if v := p.Victim(); v == 0 {
+			t.Errorf("%s: way 0 still victim after re-access", p.Name())
+		}
+	}
+}
+
+func TestTrueLRUExactOrder(t *testing.T) {
+	p := New(TrueLRU, 4, nil)
+	for w := 0; w < 4; w++ {
+		p.OnAccess(w)
+	}
+	// Recency order is now 3,2,1,0; evict 0, then after touching 0 the
+	// victim becomes 1, and so on.
+	want := []int{0, 1, 2, 3}
+	for _, v := range want {
+		if got := p.Victim(); got != v {
+			t.Fatalf("victim = %d, want %d (state %s)", got, v, p.StateString())
+		}
+		p.OnAccess(v) // simulate the fill touching the victim way
+	}
+}
+
+func TestTrueLRUVictimIsLeastRecent(t *testing.T) {
+	p := New(TrueLRU, 8, nil)
+	seq := []int{3, 1, 4, 1, 5, 2, 6, 5, 3, 7, 0, 4}
+	last := map[int]int{}
+	for i, w := range seq {
+		p.OnAccess(w)
+		last[w] = i
+	}
+	// Ways never accessed are older than any accessed way.
+	victim := p.Victim()
+	if _, touched := last[victim]; touched {
+		for w := 0; w < 8; w++ {
+			if _, ok := last[w]; !ok {
+				t.Fatalf("victim %d was accessed but untouched way %d exists", victim, w)
+			}
+		}
+	}
+}
+
+func TestTreePLRUPathUpdate(t *testing.T) {
+	p := New(TreePLRU, 8, nil).(*treePLRU)
+	p.OnAccess(0)
+	// Path of way 0 is root->node1->node3; all must point away (right=1
+	// at root since way 0 is left, etc.).
+	if p.bits[0] != 1 || p.bits[1] != 1 || p.bits[3] != 1 {
+		t.Errorf("bits after access(0): %s", p.StateString())
+	}
+	p.OnAccess(7)
+	// Way 7's path: root (points left now), node2, node6.
+	if p.bits[0] != 0 || p.bits[2] != 0 || p.bits[6] != 0 {
+		t.Errorf("bits after access(7): %s", p.StateString())
+	}
+	// Untouched node bits from access(0) must persist.
+	if p.bits[1] != 1 || p.bits[3] != 1 {
+		t.Errorf("access(7) clobbered unrelated bits: %s", p.StateString())
+	}
+}
+
+func TestTreePLRUVictimNeverJustAccessed(t *testing.T) {
+	r := rng.New(7)
+	p := New(TreePLRU, 8, nil)
+	for i := 0; i < 10000; i++ {
+		w := r.Intn(8)
+		p.OnAccess(w)
+		if p.Victim() == w {
+			t.Fatalf("victim equals most recently accessed way %d (state %s)", w, p.StateString())
+		}
+	}
+}
+
+func TestTreePLRUSingleWay(t *testing.T) {
+	p := New(TreePLRU, 1, nil)
+	p.OnAccess(0)
+	if v := p.Victim(); v != 0 {
+		t.Errorf("1-way victim = %d", v)
+	}
+}
+
+func TestTreePLRUFourWay(t *testing.T) {
+	p := New(TreePLRU, 4, nil)
+	for _, w := range []int{0, 1, 2, 3} {
+		p.OnAccess(w)
+	}
+	if v := p.Victim(); v != 0 {
+		t.Errorf("4-way sequential fill victim = %d, want 0", v)
+	}
+	p.OnAccess(0)
+	p.OnAccess(1)
+	// Ways 2,3 are now the LRU half; victim must be 2 or 3.
+	if v := p.Victim(); v != 2 && v != 3 {
+		t.Errorf("victim = %d, want 2 or 3", v)
+	}
+}
+
+func TestBitPLRURollover(t *testing.T) {
+	p := New(BitPLRU, 8, nil).(*bitPLRU)
+	for w := 0; w < 7; w++ {
+		p.OnAccess(w)
+	}
+	if v := p.Victim(); v != 7 {
+		t.Fatalf("victim before rollover = %d, want 7", v)
+	}
+	p.OnAccess(7) // sets the last bit -> rollover clears everything
+	for w := 0; w < 8; w++ {
+		if p.mru[w] != 0 {
+			t.Errorf("way %d MRU bit survived rollover", w)
+		}
+	}
+	if v := p.Victim(); v != 0 {
+		t.Errorf("victim after rollover = %d, want 0", v)
+	}
+}
+
+func TestBitPLRUVictimLowestClear(t *testing.T) {
+	p := New(BitPLRU, 8, nil)
+	p.OnAccess(0)
+	p.OnAccess(1)
+	p.OnAccess(5)
+	if v := p.Victim(); v != 2 {
+		t.Errorf("victim = %d, want 2 (lowest clear bit)", v)
+	}
+}
+
+func TestFIFOIgnoresHits(t *testing.T) {
+	p := New(FIFO, 8, nil).(*fifo)
+	p.Filled(0)
+	p.Filled(1)
+	// Hits must not move the pointer: this is the security property of
+	// Section IX-A.
+	for i := 0; i < 100; i++ {
+		p.OnAccess(i % 8)
+	}
+	if v := p.Victim(); v != 2 {
+		t.Errorf("victim = %d, want 2 (hits moved FIFO state)", v)
+	}
+}
+
+func TestFIFORoundRobinWraps(t *testing.T) {
+	p := New(FIFO, 4, nil).(*fifo)
+	for i := 0; i < 4; i++ {
+		if v := p.Victim(); v != i {
+			t.Fatalf("victim = %d, want %d", v, i)
+		}
+		p.Filled(i)
+	}
+	if v := p.Victim(); v != 0 {
+		t.Errorf("FIFO did not wrap: victim = %d", v)
+	}
+}
+
+func TestFIFOFilledOutOfTurn(t *testing.T) {
+	p := New(FIFO, 4, nil).(*fifo)
+	// Filling a way that is not the current pointer (e.g. an invalid way
+	// chosen by the cache) must not advance the pointer.
+	p.Filled(2)
+	if v := p.Victim(); v != 0 {
+		t.Errorf("victim = %d, want 0", v)
+	}
+}
+
+func TestRandomVictimDistribution(t *testing.T) {
+	r := rng.New(3)
+	p := New(Random, 8, r)
+	counts := make([]int, 8)
+	const draws = 16000
+	for i := 0; i < draws; i++ {
+		counts[p.Victim()]++
+	}
+	for w, c := range counts {
+		if c < draws/8*7/10 || c > draws/8*13/10 {
+			t.Errorf("way %d chosen %d times, want about %d", w, c, draws/8)
+		}
+	}
+}
+
+func TestResetRestoresPowerOn(t *testing.T) {
+	r := rng.New(5)
+	for _, k := range Kinds() {
+		fresh := New(k, 8, r)
+		used := New(k, 8, r)
+		for _, w := range []int{5, 2, 7, 1, 1, 3} {
+			used.OnAccess(w)
+		}
+		used.Reset()
+		if k == Random {
+			continue // stateless
+		}
+		if got, want := used.StateString(), fresh.StateString(); got != want {
+			t.Errorf("%s: state after Reset = %s, want %s", k, got, want)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	for _, k := range []Kind{TrueLRU, TreePLRU, BitPLRU, FIFO} {
+		p := New(k, 8, nil)
+		for _, w := range []int{4, 2, 6} {
+			p.OnAccess(w)
+		}
+		c := p.Clone()
+		if c.StateString() != p.StateString() {
+			t.Errorf("%s: clone state differs immediately", k)
+		}
+		before := c.StateString()
+		p.OnAccess(0)
+		p.OnAccess(1)
+		if f, ok := p.(*fifo); ok {
+			f.Filled(f.Victim())
+		}
+		if c.StateString() != before {
+			t.Errorf("%s: mutating original changed clone", k)
+		}
+	}
+}
+
+func TestCloneVictimAgrees(t *testing.T) {
+	for _, k := range []Kind{TrueLRU, TreePLRU, BitPLRU, FIFO} {
+		p := New(k, 8, nil)
+		for _, w := range []int{1, 5, 3, 3, 0} {
+			p.OnAccess(w)
+		}
+		if p.Clone().Victim() != p.Victim() {
+			t.Errorf("%s: clone victim differs", k)
+		}
+	}
+}
+
+func TestWaysReported(t *testing.T) {
+	r := rng.New(1)
+	for _, k := range Kinds() {
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			p := New(k, n, r)
+			if p.Ways() != n {
+				t.Errorf("%s(%d).Ways() = %d", k, n, p.Ways())
+			}
+		}
+	}
+}
+
+// Property: the victim is always a legal way, across random access streams,
+// for every policy and several associativities.
+func TestQuickVictimInRange(t *testing.T) {
+	r := rng.New(17)
+	f := func(seed uint64, raw []byte) bool {
+		for _, ways := range []int{2, 4, 8} {
+			for _, k := range Kinds() {
+				p := New(k, ways, r)
+				for _, b := range raw {
+					p.OnAccess(int(b) % ways)
+				}
+				v := p.Victim()
+				if v < 0 || v >= ways {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for true LRU with N ways, after accessing N distinct ways the
+// victim is exactly the first of those N in access order.
+func TestQuickTrueLRUOldestEvicted(t *testing.T) {
+	r := rng.New(23)
+	f := func(seed uint64) bool {
+		p := New(TrueLRU, 8, nil)
+		order := r.Perm(8)
+		for _, w := range order {
+			p.OnAccess(w)
+		}
+		return p.Victim() == order[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for Tree-PLRU, the victim is never the most recently accessed
+// way. (Bit-PLRU violates this exactly once per generation: right after a
+// rollover every bit is clear and way 0 is the victim even if it was just
+// accessed — the paper's literal Section II-B semantics.)
+func TestQuickPLRUVictimNotMRU(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := New(TreePLRU, 8, nil)
+		var last int
+		for _, b := range raw {
+			last = int(b) % 8
+			p.OnAccess(last)
+		}
+		return p.Victim() != last
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bit-PLRU's victim is always the lowest-indexed clear bit, and
+// the only state in which the just-accessed way can be the victim is the
+// all-clear post-rollover state.
+func TestQuickBitPLRUVictimLowestClear(t *testing.T) {
+	f := func(raw []byte) bool {
+		p := New(BitPLRU, 8, nil).(*bitPLRU)
+		var last int
+		for _, b := range raw {
+			last = int(b) % 8
+			p.OnAccess(last)
+		}
+		v := p.Victim()
+		for w := 0; w < v; w++ {
+			if p.mru[w] == 0 {
+				return false // a lower clear way existed
+			}
+		}
+		if p.mru[v] != 0 {
+			return false
+		}
+		if v == last {
+			// Only legal straight after rollover: all bits clear.
+			for _, m := range p.mru {
+				if m != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bit-PLRU never reaches the all-bits-set state.
+func TestQuickBitPLRUInvariant(t *testing.T) {
+	f := func(raw []byte) bool {
+		p := New(BitPLRU, 8, nil).(*bitPLRU)
+		for _, b := range raw {
+			p.OnAccess(int(b) % 8)
+			all := true
+			for _, m := range p.mru {
+				if m == 0 {
+					all = false
+					break
+				}
+			}
+			if all {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package replacement
+
+import "strings"
+
+// treePLRU implements the Tree-PLRU policy of Section II-B: a binary tree
+// with ways-1 one-bit nodes stored in heap order (node 0 is the root; the
+// children of node i are 2i+1 and 2i+2; leaves correspond to ways in
+// left-to-right order).
+//
+// Bit convention: node bit 0 means the LEFT subtree is less recently used
+// (victim search descends left), bit 1 means the RIGHT subtree is less
+// recently used. On an access to way w, every node on the root-to-leaf path
+// is set to point AWAY from w's subtree, marking w's side most recently
+// used.
+//
+// The associativity must be a power of two (as in the 8-way L1D caches the
+// paper evaluates).
+type treePLRU struct {
+	ways  int
+	bits  []byte // ways-1 node bits in heap order
+	depth int    // log2(ways)
+}
+
+func newTreePLRU(ways int) *treePLRU {
+	if ways&(ways-1) != 0 {
+		panic("replacement: Tree-PLRU requires power-of-two associativity")
+	}
+	d := 0
+	for 1<<d < ways {
+		d++
+	}
+	return &treePLRU{ways: ways, bits: make([]byte, ways-1), depth: d}
+}
+
+func (p *treePLRU) Name() string { return "Tree-PLRU" }
+func (p *treePLRU) Ways() int    { return p.ways }
+
+func (p *treePLRU) Reset() {
+	for i := range p.bits {
+		p.bits[i] = 0
+	}
+}
+
+// OnAccess updates all nodes on the path from the root to way's leaf so
+// that each points to the child that is NOT an ancestor of way.
+func (p *treePLRU) OnAccess(way int) {
+	checkWay(way, p.ways)
+	if p.ways == 1 {
+		return
+	}
+	node := 0
+	// Walk from the most significant direction bit to the least: at tree
+	// level l (root = level 0) the direction into way's subtree is bit
+	// depth-1-l of way (0 = left, 1 = right).
+	for level := 0; level < p.depth; level++ {
+		dir := (way >> (p.depth - 1 - level)) & 1
+		if dir == 0 {
+			// way lives in the left subtree: mark right as LRU side.
+			p.bits[node] = 1
+		} else {
+			p.bits[node] = 0
+		}
+		node = 2*node + 1 + dir
+	}
+}
+
+// Victim walks from the root toward the less recently used child at every
+// node and returns the leaf (way) it reaches.
+func (p *treePLRU) Victim() int {
+	if p.ways == 1 {
+		return 0
+	}
+	node, way := 0, 0
+	for level := 0; level < p.depth; level++ {
+		dir := int(p.bits[node])
+		way = way<<1 | dir
+		node = 2*node + 1 + dir
+	}
+	return way
+}
+
+func (p *treePLRU) Clone() Policy {
+	c := &treePLRU{ways: p.ways, bits: make([]byte, len(p.bits)), depth: p.depth}
+	copy(c.bits, p.bits)
+	return c
+}
+
+func (p *treePLRU) StateString() string {
+	var b strings.Builder
+	b.WriteString("tree:")
+	for _, v := range p.bits {
+		b.WriteByte('0' + v)
+	}
+	return b.String()
+}

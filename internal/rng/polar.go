@@ -1,0 +1,10 @@
+package rng
+
+import "math"
+
+// polarScale returns sqrt(-2 ln s / s), the scaling factor of the Marsaglia
+// polar method. Split into its own file/function to keep the math import in
+// one obvious place.
+func polarScale(s float64) float64 {
+	return math.Sqrt(-2 * math.Log(s) / s)
+}

@@ -1,0 +1,7 @@
+package secure
+
+import "repro/internal/rng"
+
+// newSeededRand is a tiny indirection so experiment files don't each import
+// the rng package for one call.
+func newSeededRand(seed uint64) *rng.Rand { return rng.New(seed) }

@@ -1,0 +1,168 @@
+package secure
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/rng"
+)
+
+// Figure 11 (top): the original PL cache leaks — the receiver's latencies
+// during sender-1 periods differ clearly from sender-0 periods even though
+// the sender's line is locked.
+func TestPLCacheOriginalLeaks(t *testing.T) {
+	res := RunPLCacheExperiment(false, 300, 21)
+	if len(res.Trace.Observations) != 300 {
+		t.Fatalf("got %d observations", len(res.Trace.Observations))
+	}
+	if !PLLeakDetectable(res) {
+		t.Errorf("original PL cache shows no leak: separation %v cycles (means %v / %v)",
+			res.Separation, res.MeanZero, res.MeanOne)
+	}
+}
+
+// Figure 11 (bottom): the fixed design (locked replacement state) closes
+// the channel — the receiver always observes a hit.
+func TestPLCacheFixedAlwaysHit(t *testing.T) {
+	res := RunPLCacheExperiment(true, 300, 21)
+	if !res.AlwaysHit {
+		t.Errorf("fixed PL cache: receiver saw misses; separation %v", res.Separation)
+	}
+	if PLLeakDetectable(res) {
+		t.Errorf("fixed PL cache still leaks: separation %v cycles", res.Separation)
+	}
+}
+
+func TestPLFixReducesSeparation(t *testing.T) {
+	orig := RunPLCacheExperiment(false, 300, 22)
+	fixed := RunPLCacheExperiment(true, 300, 22)
+	if fixed.Separation >= orig.Separation {
+		t.Errorf("fix did not shrink the signal: %v -> %v", orig.Separation, fixed.Separation)
+	}
+}
+
+func TestRandomFillHitUpdatesState(t *testing.T) {
+	c := NewRandomFill(64, 8, 16, rng.New(1))
+	const set = 3
+	line := func(i int) uint64 { return uint64(i)*64 + set }
+	for i := 0; i < 8; i++ {
+		c.Inner().Access(cache.Request{PhysLine: line(i)})
+	}
+	before := c.Inner().PolicyState(set)
+	c.Access(line(0), 0) // hit
+	after := c.Inner().PolicyState(set)
+	if before == after {
+		t.Error("hit did not update replacement state; random-fill model wrong")
+	}
+}
+
+func TestRandomFillMissDoesNotInstallRequested(t *testing.T) {
+	c := NewRandomFill(64, 8, 16, rng.New(2))
+	res := c.Access(999_999, 0)
+	if res.Hit {
+		t.Fatal("cold access hit")
+	}
+	if !res.DidFill {
+		t.Fatal("miss did not fill anything")
+	}
+	if res.Filled == 999_999 && c.Contains(999_999) {
+		// A random fill CAN coincidentally pick the requested line
+		// (1-in-33 with window 16); only flag systematic installs.
+		t.Skip("coincidental self-fill; acceptable")
+	}
+	if c.Contains(999_999) && res.Filled != 999_999 {
+		t.Error("requested line installed despite random fill semantics")
+	}
+}
+
+func TestRandomFillFillsWithinWindow(t *testing.T) {
+	c := NewRandomFill(64, 8, 4, rng.New(3))
+	for i := 0; i < 200; i++ {
+		target := uint64(10_000 + i*100)
+		res := c.Access(target, 0)
+		if !res.DidFill {
+			continue
+		}
+		lo, hi := target-4, target+4
+		if res.Filled < lo || res.Filled > hi {
+			t.Fatalf("fill %d outside window [%d,%d]", res.Filled, lo, hi)
+		}
+	}
+}
+
+// Section IX-B: the LRU channel survives the random-fill cache.
+func TestRandomFillLeakSurvives(t *testing.T) {
+	acc := RandomFillLeakExperiment(400, 120, 7)
+	if acc < 0.62 {
+		t.Errorf("random-fill decode accuracy %v; the hit-driven LRU channel should beat chance clearly", acc)
+	}
+}
+
+func TestDAWGPartitionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for indivisible ways")
+		}
+	}()
+	NewDAWG(64, 8, 3)
+}
+
+func TestDAWGDomainsIsolated(t *testing.T) {
+	d := NewDAWG(64, 8, 2)
+	const set = 7
+	line := func(i int) uint64 { return uint64(i)*64 + set }
+	// Domain 1 fills its partition.
+	for i := 0; i < 4; i++ {
+		d.Access(line(i), 1)
+	}
+	before := d.PolicyState(set, 1)
+	// Domain 0 hammers the same set index.
+	for i := 100; i < 140; i++ {
+		d.Access(line(i), 0)
+	}
+	if d.PolicyState(set, 1) != before {
+		t.Error("domain 0 traffic changed domain 1's replacement state")
+	}
+	for i := 0; i < 4; i++ {
+		if !d.Contains(line(i), 1) {
+			t.Errorf("domain 1 line %d evicted by domain 0 traffic", i)
+		}
+	}
+}
+
+func TestDAWGNoCrossDomainHit(t *testing.T) {
+	d := NewDAWG(64, 8, 2)
+	d.Access(42*64, 0)
+	if hit := d.Access(42*64, 1); hit {
+		t.Error("domain 1 hit on a line cached by domain 0; partition broken")
+	}
+}
+
+// Section IX-B: way + replacement-state partitioning closes the channel —
+// the receiver decodes at chance.
+func TestDAWGLeakAtChance(t *testing.T) {
+	acc := DAWGLeakExperiment(2000, 13)
+	if acc < 0.4 || acc > 0.6 {
+		t.Errorf("DAWG decode accuracy %v, want ~0.5 (chance)", acc)
+	}
+}
+
+func TestDAWGEvictsWithinDomainOnly(t *testing.T) {
+	d := NewDAWG(64, 8, 2)
+	const set = 9
+	line := func(i int) uint64 { return uint64(i)*64 + set }
+	// Fill both domains.
+	for i := 0; i < 4; i++ {
+		d.Access(line(i), 0)
+		d.Access(line(10+i), 1)
+	}
+	// Overflow domain 0: its own lines must be evicted, never domain 1's.
+	for i := 20; i < 30; i++ {
+		d.Access(line(i), 0)
+	}
+	for i := 0; i < 4; i++ {
+		if !d.Contains(line(10+i), 1) {
+			t.Errorf("domain 1 line %d evicted by domain 0 overflow", 10+i)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+// EditDistance returns the Levenshtein distance between the bit strings a
+// and b using the Wagner–Fischer dynamic program, the error metric of
+// Section V: the distance counts bit flips (substitutions), bit insertions,
+// and bit losses (deletions) with unit cost.
+//
+// Memory is O(min(len(a), len(b))) by keeping only two rows.
+func EditDistance(a, b []byte) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// b is now the shorter string; rows have len(b)+1 entries.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			sub := prev[j-1] + cost
+			m := del
+			if ins < m {
+				m = ins
+			}
+			if sub < m {
+				m = sub
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// BitErrorRate returns EditDistance(sent, received) normalized by the number
+// of sent bits, the per-trial error rate plotted in Figure 4. A zero-length
+// sent string yields 0.
+func BitErrorRate(sent, received []byte) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	d := EditDistance(sent, received)
+	r := float64(d) / float64(len(sent))
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// BestAlignmentErrorRate slides `sent` over `received` and returns the
+// minimum bit error rate over all alignments. The receiver of Algorithm 3
+// does not know where in its sample stream the message starts; the paper's
+// repeated-128-bit-string methodology implies scanning for the best-aligned
+// copy. window is the number of received bits compared per alignment
+// (len(sent) when window <= 0).
+func BestAlignmentErrorRate(sent, received []byte, window int) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	if window <= 0 || window > len(received) {
+		window = len(received)
+	}
+	if len(received) <= len(sent) {
+		return BitErrorRate(sent, received)
+	}
+	best := 1.0
+	for off := 0; off+len(sent) <= len(received); off++ {
+		end := off + window
+		if end > len(received) {
+			end = len(received)
+		}
+		r := BitErrorRate(sent, received[off:off+len(sent)])
+		_ = end
+		if r < best {
+			best = r
+			if best == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// RunLengthDecode collapses runs of identical bits in a raw sample stream
+// into one decoded bit per transmitted symbol, given the expected number of
+// samples per symbol. The receiver samples every Tr cycles while the sender
+// holds each bit for Ts cycles, so each transmitted bit appears as about
+// Ts/Tr consecutive samples; majority vote within each stretch decodes it.
+func RunLengthDecode(samples []byte, samplesPerSymbol float64) []byte {
+	if samplesPerSymbol <= 0 || len(samples) == 0 {
+		return nil
+	}
+	nsym := int(float64(len(samples)) / samplesPerSymbol)
+	out := make([]byte, 0, nsym)
+	for s := 0; s < nsym; s++ {
+		lo := int(float64(s) * samplesPerSymbol)
+		hi := int(float64(s+1) * samplesPerSymbol)
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		if lo >= hi {
+			break
+		}
+		ones := 0
+		for _, b := range samples[lo:hi] {
+			ones += int(b)
+		}
+		if 2*ones >= hi-lo {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package workload generates synthetic memory-reference traces standing in
+// for the SPEC CPU2006 benchmarks of Figure 9 (the paper drives GEM5 with
+// SPEC; we cannot redistribute SPEC, so each benchmark is replaced by a
+// generator with a similar locality profile — see DESIGN.md's substitution
+// table).
+//
+// Each Benchmark produces a deterministic stream of virtual addresses given
+// a seed. The profiles vary along the axes that matter to a replacement
+// policy study: working-set size relative to the L1D, reuse-distance
+// distribution (Zipf-like vs uniform), streaming vs strided vs
+// pointer-chasing access order, and the fraction of accesses to a small hot
+// region.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Access is one memory reference.
+type Access struct {
+	Addr uint64 // virtual byte address
+}
+
+// Generator yields an infinite reference stream.
+type Generator interface {
+	// Name identifies the workload (the SPEC benchmark it imitates).
+	Name() string
+	// Next returns the next reference.
+	Next() Access
+	// Reset restarts the stream with a fresh seed.
+	Reset(seed uint64)
+}
+
+const lineSize = 64
+
+// sequential streams through a buffer repeatedly: the libquantum/lbm-like
+// profile, maximal spatial locality, no temporal reuse within the sweep.
+type sequential struct {
+	name   string
+	bytes  uint64
+	pos    uint64
+	stride uint64
+}
+
+func (s *sequential) Name() string { return s.name }
+func (s *sequential) Reset(seed uint64) {
+	s.pos = (seed * 0x9e3779b9) % s.bytes
+}
+func (s *sequential) Next() Access {
+	a := Access{Addr: s.pos}
+	s.pos = (s.pos + s.stride) % s.bytes
+	return a
+}
+
+// zipf draws lines from a Zipf-like distribution over a working set: the
+// gcc/perlbench-like profile where a hot minority of lines carries most
+// references. Temporal locality is strong, so LRU-family policies shine.
+type zipf struct {
+	name  string
+	lines int
+	skew  float64
+	r     *rng.Rand
+	cdf   []float64
+}
+
+func newZipf(name string, lines int, skew float64) *zipf {
+	z := &zipf{name: name, lines: lines, skew: skew}
+	z.cdf = make([]float64, lines)
+	sum := 0.0
+	for i := 0; i < lines; i++ {
+		sum += 1 / math.Pow(float64(i+1), skew)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	z.Reset(1)
+	return z
+}
+
+func (z *zipf) Name() string      { return z.name }
+func (z *zipf) Reset(seed uint64) { z.r = rng.New(seed) }
+func (z *zipf) Next() Access {
+	u := z.r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Scramble rank -> line so hot lines spread across cache sets.
+	line := uint64(lo) * 0x9e3779b97f4a7c15 % uint64(z.lines)
+	return Access{Addr: line * lineSize}
+}
+
+// pointerChase jumps through a randomized permutation of a large working
+// set: the mcf/omnetpp-like profile, almost no locality the cache can use.
+type pointerChase struct {
+	name  string
+	lines int
+	next  []uint32
+	pos   uint32
+}
+
+func newPointerChase(name string, lines int, seed uint64) *pointerChase {
+	p := &pointerChase{name: name, lines: lines}
+	p.build(seed)
+	return p
+}
+
+func (p *pointerChase) build(seed uint64) {
+	r := rng.New(seed)
+	perm := r.Perm(p.lines)
+	p.next = make([]uint32, p.lines)
+	for i := 0; i < p.lines; i++ {
+		p.next[perm[i]] = uint32(perm[(i+1)%p.lines])
+	}
+	p.pos = uint32(perm[0])
+}
+
+func (p *pointerChase) Name() string      { return p.name }
+func (p *pointerChase) Reset(seed uint64) { p.build(seed) }
+func (p *pointerChase) Next() Access {
+	a := Access{Addr: uint64(p.pos) * lineSize}
+	p.pos = p.next[p.pos]
+	return a
+}
+
+// strided walks a working set with a fixed multi-line stride, wrapping: the
+// milc/soplex-like profile. Spatial reuse across sweeps, conflict-prone.
+type strided struct {
+	name   string
+	lines  uint64
+	stride uint64
+	pos    uint64
+}
+
+func (s *strided) Name() string      { return s.name }
+func (s *strided) Reset(seed uint64) { s.pos = seed % s.lines }
+func (s *strided) Next() Access {
+	a := Access{Addr: s.pos * lineSize}
+	s.pos = (s.pos + s.stride) % s.lines
+	return a
+}
+
+// mixed interleaves a hot Zipf region with occasional streaming sweeps:
+// bzip2/h264ref-like.
+type mixed struct {
+	name string
+	hot  *zipf
+	cold *sequential
+	r    *rng.Rand
+	p    float64 // probability of a hot access
+}
+
+func (m *mixed) Name() string { return m.name }
+func (m *mixed) Reset(seed uint64) {
+	m.hot.Reset(seed)
+	m.cold.Reset(seed + 1)
+	m.r = rng.New(seed + 2)
+}
+func (m *mixed) Next() Access {
+	if m.r.Float64() < m.p {
+		return m.hot.Next()
+	}
+	a := m.cold.Next()
+	a.Addr += 1 << 30 // keep the cold region disjoint from the hot one
+	return a
+}
+
+// Suite returns the Figure 9 benchmark suite, seeded and ready to stream.
+// Names follow the SPEC programs whose locality each generator imitates.
+func Suite(seed uint64) []Generator {
+	gens := []Generator{
+		newZipf("perlbench", 4096, 1.1),
+		&mixed{name: "bzip2", hot: newZipf("", 1024, 1.0),
+			cold: &sequential{bytes: 1 << 22, stride: lineSize}, p: 0.85},
+		newZipf("gcc", 16384, 0.9),
+		newPointerChase("mcf", 1<<16, seed),
+		&mixed{name: "gobmk", hot: newZipf("", 2048, 1.2),
+			cold: &sequential{bytes: 1 << 20, stride: lineSize}, p: 0.7},
+		&strided{name: "hmmer", lines: 3000, stride: 7},
+		newZipf("sjeng", 8192, 1.05),
+		&sequential{name: "libquantum", bytes: 1 << 23, stride: lineSize},
+		newPointerChase("omnetpp", 1<<15, seed+7),
+		&strided{name: "milc", lines: 1 << 14, stride: 33},
+		&sequential{name: "lbm", bytes: 1 << 24, stride: 2 * lineSize},
+		&mixed{name: "sphinx3", hot: newZipf("", 512, 1.3),
+			cold: &sequential{bytes: 1 << 21, stride: lineSize}, p: 0.6},
+	}
+	for i, g := range gens {
+		g.Reset(seed + uint64(i)*1315423911)
+	}
+	return gens
+}
+
+// ByName finds a suite generator.
+func ByName(name string, seed uint64) (Generator, error) {
+	for _, g := range Suite(seed) {
+		if g.Name() == name {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}

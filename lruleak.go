@@ -1,0 +1,192 @@
+// Package lruleak is a Go reproduction of "Leaking Information Through
+// Cache LRU States" (Wenjie Xiong and Jakub Szefer, HPCA 2020): timing
+// channels that leak through the replacement state of set-associative
+// caches rather than through cache line presence.
+//
+// Because the attack's raw material — 4-versus-12-cycle load latencies —
+// cannot be observed from Go (the runtime and GC destroy cycle-level
+// timing), the package drives the paper's actual protocols on a
+// deterministic cycle-level simulator of the relevant microarchitecture:
+// Tree-PLRU/Bit-PLRU replacement state, a two/three-level cache hierarchy,
+// rdtscp timing with per-CPU granularity, SMT and time-sliced core sharing,
+// Spectre v1 transient execution, and the secure-cache designs of the
+// paper's Section IX. See DESIGN.md for the full substitution table.
+//
+// # Quick start
+//
+//	setup := lruleak.NewChannel(lruleak.ChannelConfig{
+//		Algorithm: lruleak.Alg1SharedMemory,
+//		Mode:      lruleak.SMT,
+//		Tr:        600, Ts: 6000,
+//	})
+//	trace := setup.Run([]byte{0, 1}, true, 200, 1<<40)   // alternate bits
+//	bits := trace.RawBits(setup.HitMeansOne())           // decoded stream
+//
+// Every experiment of the paper's evaluation — Tables I-VII and Figures
+// 3-15 — has a driver in this package (see figures.go and tables.go) and a
+// regenerating benchmark in bench_test.go.
+package lruleak
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hier"
+	"repro/internal/replacement"
+	"repro/internal/sched"
+	"repro/internal/spectre"
+	"repro/internal/uarch"
+)
+
+// Re-exported configuration and result types. These are aliases, so the
+// internal packages' documentation applies verbatim.
+type (
+	// Profile describes a CPU microarchitecture (Table III).
+	Profile = uarch.Profile
+	// ChannelConfig parameterizes an LRU channel experiment.
+	ChannelConfig = core.Config
+	// Channel is an instantiated LRU channel (sender, receiver,
+	// hierarchy and measurement apparatus).
+	Channel = core.Setup
+	// Trace is a receiver observation sequence.
+	Trace = core.Trace
+	// Observation is one receiver sample.
+	Observation = core.Observation
+	// ErrorRateResult is one point of Figure 4.
+	ErrorRateResult = core.ErrorRateResult
+	// MultiChannel is the Section IV extension: one bit per cache set in
+	// parallel.
+	MultiChannel = core.MultiSetup
+	// SpectreConfig parameterizes the Section VIII attack.
+	SpectreConfig = spectre.Config
+	// SpectreAttack is an instantiated Spectre v1 attack.
+	SpectreAttack = spectre.Attack
+	// BaselineChannel is a comparison attack (Flush+Reload/Prime+Probe).
+	BaselineChannel = baseline.Channel
+)
+
+// Protocol selectors.
+const (
+	// Alg1SharedMemory is the paper's Algorithm 1.
+	Alg1SharedMemory = core.Alg1SharedMemory
+	// Alg2NoSharedMemory is the paper's Algorithm 2.
+	Alg2NoSharedMemory = core.Alg2NoSharedMemory
+)
+
+// Core sharing modes (Section III threat model).
+const (
+	// SMT shares the core between two hyper-threads.
+	SMT = sched.SMT
+	// TimeSliced alternates processes on the core.
+	TimeSliced = sched.TimeSliced
+)
+
+// Replacement policies (Section II-B).
+const (
+	TrueLRU  = replacement.TrueLRU
+	TreePLRU = replacement.TreePLRU
+	BitPLRU  = replacement.BitPLRU
+	FIFO     = replacement.FIFO
+	Random   = replacement.Random
+)
+
+// Spectre disclosure primitives (Section VIII / Table VII).
+const (
+	DiscLRUAlg1 = spectre.LRUAlg1
+	DiscLRUAlg2 = spectre.LRUAlg2
+	DiscFRMem   = spectre.FRMem
+	DiscFRL1    = spectre.FRL1
+)
+
+// Baseline channels (Section VII / Table V).
+const (
+	FlushReloadMem = baseline.FlushReloadMem
+	FlushReloadL1  = baseline.FlushReloadL1
+	PrimeProbe     = baseline.PrimeProbe
+)
+
+// Prefetcher models.
+const (
+	PrefetchNone     = hier.PrefetchNone
+	PrefetchNextLine = hier.PrefetchNextLine
+	PrefetchStride   = hier.PrefetchStride
+)
+
+// SandyBridge returns the Intel Xeon E5-2690 profile.
+func SandyBridge() Profile { return uarch.SandyBridge() }
+
+// Skylake returns the Intel Xeon E3-1245 v5 profile.
+func Skylake() Profile { return uarch.Skylake() }
+
+// Zen returns the AMD EPYC 7571 profile.
+func Zen() Profile { return uarch.Zen() }
+
+// Profiles returns all three evaluated CPUs in Table III order.
+func Profiles() []Profile { return uarch.Profiles() }
+
+// ProfileByName finds a profile by CPU or microarchitecture name.
+func ProfileByName(name string) (Profile, error) { return uarch.ByName(name) }
+
+// NewChannel instantiates an LRU channel experiment.
+func NewChannel(cfg ChannelConfig) *Channel { return core.NewSetup(cfg) }
+
+// NewMultiChannel instantiates the parallel multi-set channel over the
+// given target L1 sets (Section IV's rate-multiplying extension).
+func NewMultiChannel(cfg ChannelConfig, targetSets []int) *MultiChannel {
+	return core.NewMultiSetup(cfg, targetSets)
+}
+
+// NewSpectre instantiates the Section VIII attack with the given secret
+// (bytes must be below spectre.Alphabet = 62).
+func NewSpectre(cfg SpectreConfig, secret []byte) *SpectreAttack {
+	return spectre.New(cfg, secret)
+}
+
+// SpectreAlphabet is the number of distinguishable secret values per
+// transient access (one per usable L1 set).
+const SpectreAlphabet = spectre.Alphabet
+
+// NewBaseline instantiates a comparison channel over an existing setup.
+func NewBaseline(kind baseline.Kind, s *Channel) *BaselineChannel {
+	return baseline.New(kind, s)
+}
+
+// EncodeString maps an upper-case-and-space string into the Spectre 6-bit
+// alphabet (A=0..Z=25, space=26, 0-9=27..36); unsupported characters map to
+// value 61. DecodeString reverses it.
+func EncodeString(s string) []byte {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out[i] = c - 'A'
+		case c >= 'a' && c <= 'z':
+			out[i] = c - 'a'
+		case c == ' ':
+			out[i] = 26
+		case c >= '0' && c <= '9':
+			out[i] = 27 + c - '0'
+		default:
+			out[i] = 61
+		}
+	}
+	return out
+}
+
+// DecodeString maps recovered alphabet values back to text.
+func DecodeString(b []byte) string {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		switch {
+		case v < 26:
+			out[i] = 'A' + v
+		case v == 26:
+			out[i] = ' '
+		case v >= 27 && v <= 36:
+			out[i] = '0' + v - 27
+		default:
+			out[i] = '?'
+		}
+	}
+	return string(out)
+}
