@@ -2,10 +2,16 @@ package lruleak
 
 // One benchmark per table and figure of the paper's evaluation, plus the
 // ablation benches called out in DESIGN.md §5. Each bench regenerates its
-// experiment end to end; b.ReportMetric attaches the headline quantity so
-// `go test -bench` output doubles as a results table.
+// experiment end to end; emitBench attaches the headline quantity so
+// `go test -bench` output doubles as a results table, and writes one JSON
+// line per benchmark when BENCH_JSON is set (see benchreport_test.go).
+//
+// The drivers run through internal/engine; benches that measure the
+// engine's parallel speedup pin Workers explicitly, the rest use the
+// session default.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -20,73 +26,78 @@ import (
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells := TableI(1000, 1)
+		cells := TableI(1000, 1, RunOptions{})
 		if len(cells) != 48 {
 			b.Fatal("table shape")
 		}
 	}
+	emitBench(b, nil)
 }
 
 func BenchmarkFigure3PointerChase(b *testing.B) {
 	var sep int
 	for i := 0; i < b.N; i++ {
-		p := Figure3(SandyBridge(), 500, uint64(i+1))
+		p := Figure3(SandyBridge(), 500, uint64(i+1), RunOptions{})
 		if p.Separable {
 			sep++
 		}
 	}
-	b.ReportMetric(float64(sep)/float64(b.N), "separable-frac")
+	emitBench(b, map[string]float64{"separable-frac": float64(sep) / float64(b.N)})
 }
 
 func BenchmarkFigure13SingleAccess(b *testing.B) {
 	var sep int
 	for i := 0; i < b.N; i++ {
-		p := Figure13(SandyBridge(), 500, uint64(i+1))
+		p := Figure13(SandyBridge(), 500, uint64(i+1), RunOptions{})
 		if p.Separable {
 			sep++
 		}
 	}
 	// Appendix A: this should stay at 0.
-	b.ReportMetric(float64(sep)/float64(b.N), "separable-frac")
+	emitBench(b, map[string]float64{"separable-frac": float64(sep) / float64(b.N)})
 }
 
 func BenchmarkFigure4Alg1(b *testing.B) {
-	var err float64
-	for i := 0; i < b.N; i++ {
-		pts := Figure4(SandyBridge(), Alg1SharedMemory, 32, 2, uint64(i+1))
-		for _, p := range pts {
-			err += p.ErrorRate
-		}
-		err /= float64(len(pts))
-	}
-	b.ReportMetric(err, "mean-error-rate")
+	emitBench(b, map[string]float64{"mean-error-rate": benchFigure4(b, Alg1SharedMemory)})
 }
 
 func BenchmarkFigure4Alg2(b *testing.B) {
-	var err float64
+	emitBench(b, map[string]float64{"mean-error-rate": benchFigure4(b, Alg2NoSharedMemory)})
+}
+
+// benchFigure4 regenerates the sweep b.N times and returns the mean
+// per-cell error rate across iterations.
+func benchFigure4(b *testing.B, alg core.Algorithm) float64 {
+	var mean float64
 	for i := 0; i < b.N; i++ {
-		pts := Figure4(SandyBridge(), Alg2NoSharedMemory, 32, 2, uint64(i+1))
+		pts := Figure4(SandyBridge(), alg, 32, 2, uint64(i+1), RunOptions{})
+		var sum float64
 		for _, p := range pts {
-			err += p.ErrorRate
+			sum += p.ErrorRate
 		}
-		err /= float64(len(pts))
+		mean += sum / float64(len(pts))
 	}
-	b.ReportMetric(err, "mean-error-rate")
+	return mean / float64(b.N)
 }
 
 func BenchmarkFigure5Trace(b *testing.B) {
+	var cyclesPerBit float64
 	for i := 0; i < b.N; i++ {
-		f := Figure5(SandyBridge(), Alg1SharedMemory, 200, uint64(i+1))
+		f := Figure5(SandyBridge(), Alg1SharedMemory, 200, uint64(i+1), RunOptions{})
 		if len(f.Trace.Observations) != 200 {
 			b.Fatal("trace length")
 		}
+		if f.Trace.BitsSent > 0 {
+			cyclesPerBit = float64(f.Trace.Elapsed) / float64(f.Trace.BitsSent)
+		}
 	}
+	emitBench(b, map[string]float64{"sim-cycles-per-bit": cyclesPerBit})
 }
 
 func BenchmarkFigure6TimeSliced(b *testing.B) {
 	var gap float64
 	for i := 0; i < b.N; i++ {
-		pts := Figure6(SandyBridge(), []uint64{10_000_000}, 40, uint64(i+1))
+		pts := Figure6(SandyBridge(), []uint64{10_000_000}, 40, uint64(i+1), RunOptions{})
 		var f0, f1 float64
 		for _, p := range pts {
 			if p.D == 8 && p.SendingBit == 0 {
@@ -98,105 +109,157 @@ func BenchmarkFigure6TimeSliced(b *testing.B) {
 		}
 		gap += f1 - f0
 	}
-	b.ReportMetric(gap/float64(b.N), "d8-separation")
+	emitBench(b, map[string]float64{"d8-separation": gap / float64(b.N)})
 }
 
 func BenchmarkFigure7AMDTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := Figure7(Alg1SharedMemory, 300, uint64(i+1))
+		f := Figure7(Alg1SharedMemory, 300, uint64(i+1), RunOptions{})
 		if len(f.Smoothed) != len(f.Trace.Observations) {
 			b.Fatal("smoothing length")
 		}
 	}
+	emitBench(b, nil)
 }
 
 func BenchmarkFigure8AMDTimeSliced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := Figure6(Zen(), []uint64{10_000_000}, 30, uint64(i+1))
+		pts := Figure6(Zen(), []uint64{10_000_000}, 30, uint64(i+1), RunOptions{})
 		if len(pts) == 0 {
 			b.Fatal("no points")
 		}
 	}
+	emitBench(b, nil)
 }
 
 func BenchmarkFigure9ReplacementPolicies(b *testing.B) {
 	var geo float64
 	for i := 0; i < b.N; i++ {
-		rows := Figure9(300_000, uint64(i+1))
+		rows := Figure9(300_000, uint64(i+1), RunOptions{})
 		var fifo []float64
 		for _, r := range rows {
 			fifo = append(fifo, r.NormCPI["FIFO"])
 		}
 		geo = geomean(fifo)
 	}
-	b.ReportMetric(geo, "fifo-cpi-vs-plru")
+	emitBench(b, map[string]float64{"fifo-cpi-vs-plru": geo})
 }
 
 func BenchmarkFigure11PLCache(b *testing.B) {
 	var sep float64
 	for i := 0; i < b.N; i++ {
-		res := Figure11(150, uint64(i+1))
+		res := Figure11(150, uint64(i+1), RunOptions{})
 		sep += res.Original.Separation - res.Fixed.Separation
 	}
-	b.ReportMetric(sep/float64(b.N), "leak-amplitude-removed")
+	emitBench(b, map[string]float64{"leak-amplitude-removed": sep / float64(b.N)})
 }
 
 func BenchmarkFigure14SkylakeTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := Figure5(Skylake(), Alg1SharedMemory, 200, uint64(i+1))
+		f := Figure5(Skylake(), Alg1SharedMemory, 200, uint64(i+1), RunOptions{})
 		if len(f.Trace.Observations) != 200 {
 			b.Fatal("trace length")
 		}
 	}
+	emitBench(b, nil)
 }
 
 func BenchmarkFigure15SkylakeTimeSliced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := Figure6(Skylake(), []uint64{10_000_000}, 30, uint64(i+1))
+		pts := Figure6(Skylake(), []uint64{10_000_000}, 30, uint64(i+1), RunOptions{})
 		if len(pts) == 0 {
 			b.Fatal("no points")
 		}
 	}
+	emitBench(b, nil)
 }
 
 func BenchmarkTableIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells := TableIV(32, 2, uint64(i+1))
+		cells := TableIV(32, 2, uint64(i+1), RunOptions{})
 		if len(cells) != 8 {
 			b.Fatalf("table IV has %d cells", len(cells))
 		}
+	}
+	emitBench(b, nil)
+}
+
+// BenchmarkTableIVParallelSpeedup is the engine's headline number: the
+// same full Table IV sweep at one worker and at all cores. On a
+// multi-core runner the ns/op ratio between the two sub-benches is the
+// wall-time speedup (>= 2x expected: the sweep's two heavyweight Zen
+// cells run concurrently instead of back to back).
+func BenchmarkTableIVParallelSpeedup(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", runtime.GOMAXPROCS(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells := TableIV(32, 2, uint64(i+1), RunOptions{Workers: bc.workers})
+				if len(cells) != 8 {
+					b.Fatal("table shape")
+				}
+			}
+			emitBench(b, map[string]float64{"workers": float64(bc.workers)})
+		})
+	}
+}
+
+// BenchmarkSweepParallelSpeedup scales further than Table IV: a 24-cell
+// profile × policy grid, where the engine's speedup approaches the core
+// count because the cells are uniform.
+func BenchmarkSweepParallelSpeedup(b *testing.B) {
+	spec := SweepSpec{
+		Policies: []ReplacementKind{TreePLRU, BitPLRU, FIFO, Random},
+		MsgBits:  16, Repeats: 1,
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", runtime.GOMAXPROCS(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells := Sweep(spec, uint64(i+1), RunOptions{Workers: bc.workers})
+				if len(cells) != 24 {
+					b.Fatalf("sweep has %d cells", len(cells))
+				}
+			}
+			emitBench(b, map[string]float64{"workers": float64(bc.workers)})
+		})
 	}
 }
 
 func BenchmarkTableV(b *testing.B) {
 	var lru float64
 	for i := 0; i < b.N; i++ {
-		rows := TableV(uint64(i + 1))
+		rows := TableV(uint64(i+1), RunOptions{})
 		lru = float64(rows[0].LRU)
 	}
-	b.ReportMetric(lru, "lru-encode-cycles")
+	emitBench(b, map[string]float64{"lru-encode-cycles": lru})
 }
 
 func BenchmarkTableVI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := TableVI(100, uint64(i+1))
+		rows := TableVI(100, uint64(i+1), RunOptions{})
 		if len(rows) != 12 {
 			b.Fatalf("table VI has %d rows", len(rows))
 		}
 	}
+	emitBench(b, nil)
 }
 
 func BenchmarkTableVII(b *testing.B) {
 	var acc float64
 	for i := 0; i < b.N; i++ {
-		rows := TableVII(EncodeString("KEY"), uint64(i+1))
+		rows := TableVII(EncodeString("KEY"), uint64(i+1), RunOptions{})
 		for _, r := range rows {
 			if r.Disclosure == spectre.LRUAlg1 {
 				acc += r.Accuracy
 			}
 		}
 	}
-	b.ReportMetric(acc/float64(2*b.N), "lru-alg1-recovery")
+	emitBench(b, map[string]float64{"lru-alg1-recovery": acc / float64(2*b.N)})
 }
 
 func BenchmarkSpectreLRUChannel(b *testing.B) {
@@ -206,7 +269,7 @@ func BenchmarkSpectreLRUChannel(b *testing.B) {
 		a := NewSpectre(SpectreConfig{Disclosure: DiscLRUAlg1, Seed: uint64(i + 1)}, secret)
 		acc += a.Accuracy()
 	}
-	b.ReportMetric(acc/float64(b.N), "recovery-accuracy")
+	emitBench(b, map[string]float64{"recovery-accuracy": acc / float64(b.N)})
 }
 
 // --- Ablation benches (DESIGN.md §5) ---
@@ -224,7 +287,7 @@ func BenchmarkAblationAssociativity(b *testing.B) {
 				}, core.InitSequential, core.Seq1)
 				p = res.Prob[0]
 			}
-			b.ReportMetric(p, "evict-prob-iter1")
+			emitBench(b, map[string]float64{"evict-prob-iter1": p})
 		})
 	}
 }
@@ -241,7 +304,7 @@ func BenchmarkAblationChainLength(b *testing.B) {
 					sep++
 				}
 			}
-			b.ReportMetric(float64(sep)/float64(b.N), "separable-frac")
+			emitBench(b, map[string]float64{"separable-frac": float64(sep) / float64(b.N)})
 		})
 	}
 }
@@ -261,7 +324,7 @@ func BenchmarkAblationTSCGranularity(b *testing.B) {
 				})
 				err += s.MeasureErrorRate(32, 3).ErrorRate
 			}
-			b.ReportMetric(err/float64(b.N), "error-rate")
+			emitBench(b, map[string]float64{"error-rate": err / float64(b.N)})
 		})
 	}
 }
@@ -279,7 +342,7 @@ func BenchmarkAblationDParity(b *testing.B) {
 				})
 				err += s.MeasureErrorRate(32, 3).ErrorRate
 			}
-			b.ReportMetric(err/float64(b.N), "error-rate")
+			emitBench(b, map[string]float64{"error-rate": err / float64(b.N)})
 		})
 	}
 }
@@ -298,7 +361,7 @@ func BenchmarkAblationSpectreRounds(b *testing.B) {
 				}, secret)
 				acc += a.Accuracy()
 			}
-			b.ReportMetric(acc/float64(b.N), "recovery-accuracy")
+			emitBench(b, map[string]float64{"recovery-accuracy": acc / float64(b.N)})
 		})
 	}
 }
@@ -317,7 +380,7 @@ func BenchmarkAblationSpeculationWindow(b *testing.B) {
 					SpectreConfig{Disclosure: d.disc, Seed: uint64(i + 1)},
 					secret, 1.0, 4, 400))
 			}
-			b.ReportMetric(w, "min-window-cycles")
+			emitBench(b, map[string]float64{"min-window-cycles": w})
 		})
 	}
 }
@@ -333,7 +396,7 @@ func BenchmarkMultiSetChannel(b *testing.B) {
 		}, []int{3, 9, 17, 30})
 		acc += m.MeasureWordAccuracy([][]byte{{1, 0, 1, 0}, {0, 1, 1, 0}}, 100)
 	}
-	b.ReportMetric(acc/float64(b.N), "per-bit-accuracy")
+	emitBench(b, map[string]float64{"per-bit-accuracy": acc / float64(b.N)})
 }
 
 // InvisiSpec mitigation (Section IX-B): recovery accuracy with and without.
@@ -352,7 +415,7 @@ func BenchmarkAblationInvisiSpec(b *testing.B) {
 				}, secret)
 				acc += a.Accuracy()
 			}
-			b.ReportMetric(acc/float64(b.N), "recovery-accuracy")
+			emitBench(b, map[string]float64{"recovery-accuracy": acc / float64(b.N)})
 		})
 	}
 }
@@ -375,7 +438,7 @@ func BenchmarkDetectionEvasion(b *testing.B) {
 			evaded++
 		}
 	}
-	b.ReportMetric(float64(evaded)/float64(b.N), "fr-caught-lru-missed")
+	emitBench(b, map[string]float64{"fr-caught-lru-missed": float64(evaded) / float64(b.N)})
 }
 
 // --- helpers ---
@@ -412,19 +475,8 @@ func chaseSeparates(s *Channel) bool {
 		misses = append(misses, s.Chaser.Measure(target).Observed)
 		s.Hier.Flush(target.PhysLine)
 	}
-	th := otsu(append(append([]float64{}, hits...), misses...))
-	wrong := 0
-	for _, v := range hits {
-		if v > th {
-			wrong++
-		}
-	}
-	for _, v := range misses {
-		if v <= th {
-			wrong++
-		}
-	}
-	return float64(wrong)/float64(len(hits)+len(misses)) < 0.05
+	all := append(append([]float64{}, hits...), misses...)
+	return separationError(hits, misses, otsu(all)) < 0.05
 }
 
 func otsu(xs []float64) float64 { return stats.OtsuThreshold(xs) }

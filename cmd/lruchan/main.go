@@ -1,7 +1,9 @@
 // Command lruchan regenerates the LRU-channel figures of the paper:
 // latency histograms (Figures 3, 13), error-rate sweeps (Figure 4),
 // receiver traces (Figures 5, 7, 14), and the time-sliced percent-of-ones
-// sweeps (Figures 6, 8, 15).
+// sweeps (Figures 6, 8, 15). Multi-cell figures fan out over the
+// experiment engine's worker pool; -workers 1 forces a serial run, which
+// produces byte-identical output.
 //
 // Usage:
 //
@@ -11,6 +13,9 @@
 //	lruchan -fig 6  [-samples 100]
 //	lruchan -fig 7  [-alg 1|2] [-samples 1400]
 //	lruchan -fig 8 | -fig 13 | -fig 14 | -fig 15
+//	lruchan -sweep [-bits N] [-repeats N]   (multi-profile × multi-policy grid)
+//
+// All forms accept -workers N (0 = all cores) and -progress.
 package main
 
 import (
@@ -23,15 +28,23 @@ import (
 
 func main() {
 	var (
-		fig     = flag.Int("fig", 5, "figure number to regenerate (3,4,5,6,7,8,13,14,15)")
-		cpu     = flag.String("cpu", "sandy", "CPU profile: sandy, skylake or zen")
-		alg     = flag.Int("alg", 1, "channel protocol: 1 (shared memory) or 2 (no shared memory)")
-		samples = flag.Int("samples", 200, "receiver samples for trace figures")
-		bits    = flag.Int("bits", 64, "message bits per trial (Figure 4; the paper uses 128)")
-		repeats = flag.Int("repeats", 4, "message repetitions (Figure 4; the paper uses 30)")
-		seed    = flag.Uint64("seed", 2020, "experiment seed")
+		fig      = flag.Int("fig", 5, "figure number to regenerate (3,4,5,6,7,8,13,14,15)")
+		sweep    = flag.Bool("sweep", false, "run the generalized profile × policy × (Tr,Ts) sweep instead of one figure")
+		cpu      = flag.String("cpu", "sandy", "CPU profile: sandy, skylake or zen")
+		alg      = flag.Int("alg", 1, "channel protocol: 1 (shared memory) or 2 (no shared memory)")
+		samples  = flag.Int("samples", 200, "receiver samples for trace figures")
+		bits     = flag.Int("bits", 64, "message bits per trial (Figure 4; the paper uses 128)")
+		repeats  = flag.Int("repeats", 4, "message repetitions (Figure 4; the paper uses 30)")
+		seed     = flag.Uint64("seed", 2020, "experiment seed")
+		workers  = flag.Int("workers", 0, "parallel experiment workers (0 = all cores)")
+		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 	)
 	flag.Parse()
+
+	opt := lruleak.RunOptions{Workers: *workers}
+	if *progress {
+		opt.Progress = lruleak.ProgressTo(os.Stderr)
+	}
 
 	prof, err := lruleak.ProfileByName(*cpu)
 	if err != nil {
@@ -43,28 +56,49 @@ func main() {
 		algorithm = lruleak.Alg2NoSharedMemory
 	}
 
+	if *sweep {
+		spec := lruleak.SweepSpec{
+			Policies: []lruleak.ReplacementKind{lruleak.TreePLRU, lruleak.BitPLRU, lruleak.FIFO, lruleak.Random},
+			Points:   []lruleak.TrTs{{Tr: 600, Ts: 6000}, {Tr: 1000, Ts: 12000}},
+			MsgBits:  *bits, Repeats: *repeats,
+		}
+		// An explicit -cpu or -alg narrows the grid to that slice;
+		// unset, the sweep covers all profiles and both algorithms.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "cpu":
+				spec.Profiles = []lruleak.Profile{prof}
+			case "alg":
+				spec.Algorithms = append(spec.Algorithms, algorithm)
+			}
+		})
+		cells := lruleak.Sweep(spec, *seed, opt)
+		fmt.Print(lruleak.RenderSweep(cells))
+		return
+	}
+
 	switch *fig {
 	case 3:
-		fmt.Print(lruleak.Figure3(prof, 5000, *seed).Render())
+		fmt.Print(lruleak.Figure3(prof, 5000, *seed, opt).Render())
 	case 4:
-		pts := lruleak.Figure4(prof, algorithm, *bits, *repeats, *seed)
+		pts := lruleak.Figure4(prof, algorithm, *bits, *repeats, *seed, opt)
 		fmt.Print(lruleak.RenderFigure4(pts))
 	case 5:
-		fmt.Print(lruleak.Figure5(prof, algorithm, *samples, *seed).Render())
+		fmt.Print(lruleak.Figure5(prof, algorithm, *samples, *seed, opt).Render())
 	case 6:
-		pts := lruleak.Figure6(prof, nil, *samples, *seed)
+		pts := lruleak.Figure6(prof, nil, *samples, *seed, opt)
 		fmt.Print(lruleak.RenderFigure6(pts))
 	case 7:
-		fmt.Print(lruleak.Figure7(algorithm, *samples, *seed).Render())
+		fmt.Print(lruleak.Figure7(algorithm, *samples, *seed, opt).Render())
 	case 8:
-		pts := lruleak.Figure6(lruleak.Zen(), nil, *samples, *seed)
+		pts := lruleak.Figure6(lruleak.Zen(), nil, *samples, *seed, opt)
 		fmt.Print(lruleak.RenderFigure6(pts))
 	case 13:
-		fmt.Print(lruleak.Figure13(prof, 5000, *seed).Render())
+		fmt.Print(lruleak.Figure13(prof, 5000, *seed, opt).Render())
 	case 14:
-		fmt.Print(lruleak.Figure5(lruleak.Skylake(), algorithm, *samples, *seed).Render())
+		fmt.Print(lruleak.Figure5(lruleak.Skylake(), algorithm, *samples, *seed, opt).Render())
 	case 15:
-		pts := lruleak.Figure6(lruleak.Skylake(), nil, *samples, *seed)
+		pts := lruleak.Figure6(lruleak.Skylake(), nil, *samples, *seed, opt)
 		fmt.Print(lruleak.RenderFigure6(pts))
 	default:
 		fmt.Fprintf(os.Stderr, "lruchan: no driver for figure %d\n", *fig)

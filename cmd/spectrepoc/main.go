@@ -2,14 +2,18 @@
 // attack that exfiltrates a secret through the L1 LRU channel instead of
 // Flush+Reload, including the randomized-round prefetcher defence of
 // Appendix C. It prints the recovered secret byte by byte and compares the
-// minimum speculation window each disclosure primitive needs.
+// minimum speculation window each disclosure primitive needs. Byte
+// recoveries run as parallel engine jobs, one independent attack instance
+// per byte; -workers 1 forces a serial run with identical output.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro"
+	"repro/internal/engine"
 	"repro/internal/spectre"
 )
 
@@ -21,8 +25,15 @@ func main() {
 		prefetch   = flag.Bool("prefetcher", false, "enable the next-line prefetcher (Appendix C noise)")
 		windows    = flag.Bool("windows", false, "also compare minimum speculation windows")
 		seed       = flag.Uint64("seed", 2020, "experiment seed")
+		workers    = flag.Int("workers", 0, "parallel experiment workers (0 = all cores)")
+		progress   = flag.Bool("progress", false, "report per-byte progress on stderr")
 	)
 	flag.Parse()
+
+	opt := lruleak.RunOptions{Workers: *workers}
+	if *progress {
+		opt.Progress = lruleak.ProgressTo(os.Stderr)
+	}
 
 	var d spectre.Disclosure
 	switch *disc {
@@ -51,20 +62,35 @@ func main() {
 	}
 
 	secret := lruleak.EncodeString(*secretText)
-	attack := lruleak.NewSpectre(cfg, secret)
 
 	fmt.Printf("victim secret:   %q (%d bytes over the %d-value alphabet)\n",
 		*secretText, len(secret), lruleak.SpectreAlphabet)
 	fmt.Printf("disclosure:      %v, window %d cycles, %d rounds, prefetcher %v\n",
 		d, cfgWindow(cfg), cfg.Rounds, *prefetch)
 
-	fmt.Print("recovering:      ")
-	got := make([]byte, len(secret))
+	// One job per secret byte: each builds its own attack (victim,
+	// hierarchy, predictor) from a split seed and leaks just that byte.
+	seeds := engine.Seeds(*seed, len(secret))
+	jobs := make([]engine.Job[byte], len(secret))
 	for i := range secret {
-		b, conf := attack.RecoverByte(i)
-		got[i] = b
+		i := i
+		jobs[i] = engine.Job[byte]{
+			Name: fmt.Sprintf("spectre/byte=%d", i),
+			Seed: seeds[i],
+			Run: func(s uint64) byte {
+				c := cfg
+				c.Seed = s
+				a := lruleak.NewSpectre(c, secret)
+				b, _ := a.RecoverByteWarm(i)
+				return b
+			},
+		}
+	}
+	got := engine.Values(engine.Run(jobs, opt))
+
+	fmt.Print("recovering:      ")
+	for _, b := range got {
 		fmt.Printf("%s", lruleak.DecodeString([]byte{b}))
-		_ = conf
 	}
 	fmt.Println()
 
@@ -80,13 +106,25 @@ func main() {
 	if *windows {
 		fmt.Println("\nminimum speculation window per disclosure primitive:")
 		probe := lruleak.EncodeString("AB")
-		for _, c := range []struct {
+		prims := []struct {
 			name string
 			d    spectre.Disclosure
 		}{{"LRU Alg.1", lruleak.DiscLRUAlg1}, {"LRU Alg.2", lruleak.DiscLRUAlg2},
-			{"F+R (L1)", lruleak.DiscFRL1}, {"F+R (mem)", lruleak.DiscFRMem}} {
-			w := spectre.MinimumWindow(lruleak.SpectreConfig{Disclosure: c.d, Seed: *seed}, probe, 1.0, 4, 400)
-			fmt.Printf("  %-10s %4d cycles\n", c.name, w)
+			{"F+R (L1)", lruleak.DiscFRL1}, {"F+R (mem)", lruleak.DiscFRMem}}
+		wjobs := make([]engine.Job[int], len(prims))
+		for i, c := range prims {
+			c := c
+			wjobs[i] = engine.Job[int]{
+				Name: "window/" + c.name,
+				Seed: *seed,
+				Run: func(s uint64) int {
+					return spectre.MinimumWindow(lruleak.SpectreConfig{Disclosure: c.d, Seed: s}, probe, 1.0, 4, 400)
+				},
+			}
+		}
+		ws := engine.Values(engine.Run(wjobs, opt))
+		for i, c := range prims {
+			fmt.Printf("  %-10s %4d cycles\n", c.name, ws[i])
 		}
 	}
 }

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	fmt.Println("=== 1. Partition-Locked cache (Figure 11) ===")
-	res := lruleak.Figure11(300, 3)
+	res := lruleak.Figure11(300, 3, lruleak.RunOptions{})
 	fmt.Print(res.Render())
 
 	fmt.Println("\n=== 2. Random-fill cache (Section IX-B, randomization) ===")
@@ -30,7 +30,7 @@ func main() {
 	fmt.Println("state alongside the ways CLOSES the channel.")
 
 	fmt.Println("\n=== 4. Replacing LRU outright: the performance bill (Figure 9) ===")
-	rows := lruleak.Figure9(400_000, 3)
+	rows := lruleak.Figure9(400_000, 3, lruleak.RunOptions{})
 	fmt.Print(lruleak.RenderFigure9(rows))
 	fmt.Println("\nFIFO or Random in the L1D removes the LRU state entirely at a CPI")
 	fmt.Println("cost of a couple of percent — the paper's cheapest clean mitigation.")

@@ -5,17 +5,24 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/perf"
 	"repro/internal/replacement"
 	"repro/internal/sched"
 	"repro/internal/secure"
 	"repro/internal/stats"
 	"repro/internal/uarch"
+	"repro/internal/workload"
 )
 
 // This file contains one driver per figure of the paper's evaluation. Each
 // returns structured data plus a Render method producing the textual
 // equivalent of the plot. bench_test.go and cmd/lruchan call these.
+//
+// Every driver declares its evaluation grid as engine jobs — one job per
+// independent experiment cell (one simulated machine) — and hands the grid
+// to engine.Run. Results come back in submission order, so the output is
+// identical at any worker count.
 
 // HistogramPair is Figures 3 and 13: latency distributions of a probed
 // access that hit or missed L1.
@@ -36,33 +43,65 @@ func (h *HistogramPair) Render() string {
 	return b.String()
 }
 
-// measureHistogramPair collects hit and miss latency samples with either
-// the pointer chase (Figure 3) or the naive single access (Figure 13).
-func measureHistogramPair(prof Profile, pointerChase bool, samples int, seed uint64) *HistogramPair {
+// histogramChunk is one job's worth of hit/miss latency samples.
+type histogramChunk struct {
+	hits, misses []float64
+}
+
+// histogramChunkSize is the number of samples one histogram job
+// collects. The chunk count depends only on the requested sample count,
+// never on the worker count, so the merged histogram is deterministic.
+const histogramChunkSize = 256
+
+// collectHistogramChunk samples hit and miss latencies on a fresh
+// channel with either the pointer chase (Figure 3) or the naive single
+// access (Figure 13).
+func collectHistogramChunk(prof Profile, pointerChase bool, samples int, seed uint64) histogramChunk {
 	s := NewChannel(ChannelConfig{Profile: prof, Seed: seed})
 	target := s.ReceiverLines[0]
-	var hits, misses []float64
+	ch := histogramChunk{
+		hits:   make([]float64, 0, samples),
+		misses: make([]float64, 0, samples),
+	}
+	measure := func() float64 {
+		s.Chaser.WarmUp()
+		if pointerChase {
+			return s.Chaser.Measure(target).Observed
+		}
+		return s.Chaser.MeasureSingle(target).Observed
+	}
 	for i := 0; i < samples; i++ {
 		s.Hier.Load(target, core.ReqReceiver)
-		s.Chaser.WarmUp()
-		var m float64
-		if pointerChase {
-			m = s.Chaser.Measure(target).Observed
-		} else {
-			m = s.Chaser.MeasureSingle(target).Observed
-		}
-		hits = append(hits, m)
+		ch.hits = append(ch.hits, measure())
 		s.Hier.L1().Flush(target.PhysLine) // leave the L2 copy: an L1 miss, L2 hit
-		s.Chaser.WarmUp()
-		if pointerChase {
-			m = s.Chaser.Measure(target).Observed
-		} else {
-			m = s.Chaser.MeasureSingle(target).Observed
-		}
-		misses = append(misses, m)
+		ch.misses = append(ch.misses, measure())
 		s.Hier.Flush(target.PhysLine)
 	}
-	all := append(append([]float64{}, hits...), misses...)
+	return ch
+}
+
+// measureHistogramPair fans the sampling out over chunk trials (each
+// with its own channel and split seed) and merges the distributions.
+func measureHistogramPair(prof Profile, pointerChase bool, samples int, seed uint64, opt RunOptions) *HistogramPair {
+	chunks := (samples + histogramChunkSize - 1) / histogramChunkSize
+	if chunks < 1 {
+		chunks = 1
+	}
+	rs := engine.RunTrials(fmt.Sprintf("hist/%s", prof.Arch), seed, chunks,
+		func(trial int, s uint64) histogramChunk {
+			n := samples - trial*histogramChunkSize
+			if n > histogramChunkSize {
+				n = histogramChunkSize
+			}
+			return collectHistogramChunk(prof, pointerChase, n, s)
+		}, opt)
+	var hits, misses []float64
+	for _, ch := range engine.Values(rs) {
+		hits = append(hits, ch.hits...)
+		misses = append(misses, ch.misses...)
+	}
+
+	all := append(append(make([]float64, 0, len(hits)+len(misses)), hits...), misses...)
 	lo, hi := stats.Percentile(all, 0)-5, stats.Percentile(all, 100)+5
 	pair := &HistogramPair{
 		Hit:  stats.NewHistogram(lo, hi, 1),
@@ -71,33 +110,43 @@ func measureHistogramPair(prof Profile, pointerChase bool, samples int, seed uin
 	pair.Hit.AddAll(hits)
 	pair.Miss.AddAll(misses)
 	pair.Threshold = stats.OtsuThreshold(all)
+	pair.Separable = separationError(hits, misses, pair.Threshold) < 0.05
+	return pair
+}
+
+// separationError is the fraction of samples an explicit threshold
+// misclassifies, given that everything in hits should fall at or below
+// it and everything in misses above it.
+func separationError(hits, misses []float64, threshold float64) float64 {
+	if len(hits)+len(misses) == 0 {
+		return 0
+	}
 	wrong := 0
 	for _, v := range hits {
-		if v > pair.Threshold {
+		if core.ClassifyBit(v, threshold, true) == 0 {
 			wrong++
 		}
 	}
 	for _, v := range misses {
-		if v <= pair.Threshold {
+		if core.ClassifyBit(v, threshold, true) == 1 {
 			wrong++
 		}
 	}
-	pair.Separable = float64(wrong)/float64(len(all)) < 0.05
-	return pair
+	return float64(wrong) / float64(len(hits)+len(misses))
 }
 
 // Figure3 measures the pointer-chase latency distributions (7 L1 hits plus
 // the 8th element hitting or missing).
-func Figure3(prof Profile, samples int, seed uint64) *HistogramPair {
-	p := measureHistogramPair(prof, true, samples, seed)
+func Figure3(prof Profile, samples int, seed uint64, opt RunOptions) *HistogramPair {
+	p := measureHistogramPair(prof, true, samples, seed, opt)
 	p.Title = fmt.Sprintf("Figure 3 — pointer-chase probe on %s", prof.Name)
 	return p
 }
 
 // Figure13 measures the naive single-access rdtscp distributions of
 // Appendix A, which must NOT separate.
-func Figure13(prof Profile, samples int, seed uint64) *HistogramPair {
-	p := measureHistogramPair(prof, false, samples, seed)
+func Figure13(prof Profile, samples int, seed uint64, opt RunOptions) *HistogramPair {
+	p := measureHistogramPair(prof, false, samples, seed, opt)
 	p.Title = fmt.Sprintf("Figure 13 — single-access rdtscp on %s", prof.Name)
 	return p
 }
@@ -116,31 +165,38 @@ type Figure4Point struct {
 // measurement cost (the paper uses 128-bit strings ≥ 30 times; the defaults
 // here are lighter so the sweep completes in seconds — pass the paper's
 // values for a full run).
-func Figure4(prof Profile, alg core.Algorithm, msgBits, repeats int, seed uint64) []Figure4Point {
+func Figure4(prof Profile, alg core.Algorithm, msgBits, repeats int, seed uint64, opt RunOptions) []Figure4Point {
 	if msgBits == 0 {
 		msgBits = 64
 	}
 	if repeats == 0 {
 		repeats = 4
 	}
-	var out []Figure4Point
+	var jobs []engine.Job[Figure4Point]
 	for _, tr := range []uint64{600, 1000, 3000} {
 		for _, ts := range []uint64{4500, 6000, 12000, 30000} {
 			for d := 1; d <= prof.L1Ways; d++ {
-				s := NewChannel(ChannelConfig{
-					Profile: prof, Algorithm: alg, Mode: sched.SMT,
-					Tr: tr, Ts: ts, D: d, Seed: seed + ts + tr + uint64(d),
-				})
-				res := s.MeasureErrorRate(msgBits, repeats)
-				out = append(out, Figure4Point{
-					Tr: tr, Ts: ts, D: d,
-					RateKbps:  res.RateBps / 1000,
-					ErrorRate: res.ErrorRate,
+				tr, ts, d := tr, ts, d
+				jobs = append(jobs, engine.Job[Figure4Point]{
+					Name: fmt.Sprintf("fig4/tr=%d/ts=%d/d=%d", tr, ts, d),
+					Seed: seed + ts + tr + uint64(d),
+					Run: func(s uint64) Figure4Point {
+						c := NewChannel(ChannelConfig{
+							Profile: prof, Algorithm: alg, Mode: sched.SMT,
+							Tr: tr, Ts: ts, D: d, Seed: s,
+						})
+						res := c.MeasureErrorRate(msgBits, repeats)
+						return Figure4Point{
+							Tr: tr, Ts: ts, D: d,
+							RateKbps:  res.RateBps / 1000,
+							ErrorRate: res.ErrorRate,
+						}
+					},
 				})
 			}
 		}
 	}
-	return out
+	return engine.Values(engine.Run(jobs, opt))
 }
 
 // RenderFigure4 formats the sweep grouped by Tr, like the paper's panels.
@@ -185,31 +241,41 @@ func (f *FigureTrace) Render() string {
 	return b.String()
 }
 
+// runTraceJob executes a single-cell trace driver through the engine so
+// even one-machine figures share the execution layer (progress, wall
+// accounting, worker override).
+func runTraceJob(name string, seed uint64, opt RunOptions, run func(seed uint64) *FigureTrace) *FigureTrace {
+	rs := engine.Run([]engine.Job[*FigureTrace]{{Name: name, Seed: seed, Run: run}}, opt)
+	return rs[0].Value
+}
+
 // Figure5 records the hyper-threaded alternating-bit traces on an Intel
 // profile: Algorithm 1 with d=8 (top) and Algorithm 2 with d=4 (bottom),
 // Tr=600, Ts=6000. Figure 14 is the same on Skylake.
-func Figure5(prof Profile, alg core.Algorithm, samples int, seed uint64) *FigureTrace {
+func Figure5(prof Profile, alg core.Algorithm, samples int, seed uint64, opt RunOptions) *FigureTrace {
 	d := prof.L1Ways
 	if alg == Alg2NoSharedMemory {
 		d = prof.L1Ways / 2
 	}
-	s := NewChannel(ChannelConfig{
-		Profile: prof, Algorithm: alg, Mode: sched.SMT,
-		Tr: 600, Ts: 6000, D: d, Seed: seed,
+	return runTraceJob(fmt.Sprintf("fig5/%s", prof.Arch), seed, opt, func(s uint64) *FigureTrace {
+		c := NewChannel(ChannelConfig{
+			Profile: prof, Algorithm: alg, Mode: sched.SMT,
+			Tr: 600, Ts: 6000, D: d, Seed: s,
+		})
+		tr := c.Run([]byte{0, 1}, true, samples, 1<<40)
+		return &FigureTrace{
+			Title: fmt.Sprintf("Figure 5 — %v on %s, Tr=600 Ts=6000 d=%d",
+				alg, prof.Name, d),
+			Trace:    tr,
+			HitIsOne: c.HitMeansOne(),
+		}
 	})
-	tr := s.Run([]byte{0, 1}, true, samples, 1<<40)
-	return &FigureTrace{
-		Title: fmt.Sprintf("Figure 5 — %v on %s, Tr=600 Ts=6000 d=%d",
-			alg, prof.Name, d),
-		Trace:    tr,
-		HitIsOne: s.HitMeansOne(),
-	}
 }
 
 // Figure7 records the AMD traces with their moving average: Algorithm 1 as
 // two threads of one process (top) and Algorithm 2 across processes
 // (bottom), Tr=1000, Ts=1e5.
-func Figure7(alg core.Algorithm, samples int, seed uint64) *FigureTrace {
+func Figure7(alg core.Algorithm, samples int, seed uint64, opt RunOptions) *FigureTrace {
 	prof := uarch.Zen()
 	cfg := ChannelConfig{
 		Profile: prof, Algorithm: alg, Mode: sched.SMT,
@@ -221,17 +287,21 @@ func Figure7(alg core.Algorithm, samples int, seed uint64) *FigureTrace {
 	} else {
 		cfg.D = prof.L1Ways / 2
 	}
-	s := NewChannel(cfg)
-	tr := s.Run([]byte{0, 1}, true, samples, 1<<41)
-	// The paper smooths over roughly one bit period of samples.
-	window := int(cfg.Ts / cfg.Tr)
-	return &FigureTrace{
-		Title: fmt.Sprintf("Figure 7 — %v on %s, Tr=1000 Ts=1e5 (moving average window %d)",
-			alg, prof.Name, window),
-		Trace:    tr,
-		Smoothed: stats.MovingAverage(tr.Latencies(), window),
-		HitIsOne: s.HitMeansOne(),
-	}
+	return runTraceJob("fig7/zen", seed, opt, func(s uint64) *FigureTrace {
+		cfg := cfg
+		cfg.Seed = s
+		c := NewChannel(cfg)
+		tr := c.Run([]byte{0, 1}, true, samples, 1<<41)
+		// The paper smooths over roughly one bit period of samples.
+		window := int(cfg.Ts / cfg.Tr)
+		return &FigureTrace{
+			Title: fmt.Sprintf("Figure 7 — %v on %s, Tr=1000 Ts=1e5 (moving average window %d)",
+				alg, prof.Name, window),
+			Trace:    tr,
+			Smoothed: stats.MovingAverage(tr.Latencies(), window),
+			HitIsOne: c.HitMeansOne(),
+		}
+	})
 }
 
 // Figure6Point is one cell of Figures 6, 8 and 15: the fraction of 1s the
@@ -246,31 +316,38 @@ type Figure6Point struct {
 // Figure6 sweeps the time-sliced experiment: the sender constantly sends 0
 // or 1 with Algorithm 1; the receiver samples every Tr. Figure 8 is the
 // same on the Zen profile, Figure 15 on Skylake.
-func Figure6(prof Profile, trs []uint64, measurements int, seed uint64) []Figure6Point {
+func Figure6(prof Profile, trs []uint64, measurements int, seed uint64, opt RunOptions) []Figure6Point {
 	if len(trs) == 0 {
 		trs = []uint64{2_000_000, 10_000_000, 50_000_000, 200_000_000}
 	}
 	if measurements == 0 {
 		measurements = 100
 	}
-	var out []Figure6Point
+	var jobs []engine.Job[Figure6Point]
 	for _, bit := range []byte{0, 1} {
 		for _, tr := range trs {
 			for d := 1; d <= prof.L1Ways; d++ {
-				s := NewChannel(ChannelConfig{
-					Profile: prof, Algorithm: Alg1SharedMemory,
-					Mode: sched.TimeSliced,
-					Tr:   tr, Ts: 1 << 62, D: d,
+				bit, tr, d := bit, tr, d
+				jobs = append(jobs, engine.Job[Figure6Point]{
+					Name: fmt.Sprintf("fig6/bit=%d/tr=%d/d=%d", bit, tr, d),
 					Seed: seed + tr + uint64(d) + uint64(bit)<<32,
-				})
-				out = append(out, Figure6Point{
-					Tr: tr, D: d, SendingBit: bit,
-					FractionOnes: s.MeasureFractionOnes(bit, measurements),
+					Run: func(s uint64) Figure6Point {
+						c := NewChannel(ChannelConfig{
+							Profile: prof, Algorithm: Alg1SharedMemory,
+							Mode: sched.TimeSliced,
+							Tr:   tr, Ts: 1 << 62, D: d,
+							Seed: s,
+						})
+						return Figure6Point{
+							Tr: tr, D: d, SendingBit: bit,
+							FractionOnes: c.MeasureFractionOnes(bit, measurements),
+						}
+					},
 				})
 			}
 		}
 	}
-	return out
+	return engine.Values(engine.Run(jobs, opt))
 }
 
 // RenderFigure6 formats the sweep as two panels (sending 0, sending 1).
@@ -294,10 +371,40 @@ type Figure9Row struct {
 	NormCPI   map[string]float64 // policy name -> CPI / CPI(Tree-PLRU)
 }
 
-// Figure9 runs the replacement-policy performance study.
-func Figure9(instructions int, seed uint64) []Figure9Row {
+// Figure9 runs the replacement-policy performance study: one engine job
+// per (policy, benchmark) pair, reassembled into the suite × policy
+// matrix that the normalization step needs in full.
+func Figure9(instructions int, seed uint64, opt RunOptions) []Figure9Row {
 	policies := []replacement.Kind{replacement.TreePLRU, replacement.FIFO, replacement.Random}
-	results := perf.RunSuite(policies, perf.Config{Instructions: instructions, Seed: seed})
+	if seed == 0 {
+		seed = 2020 // match perf.Config's default so Suite seeding is unchanged
+	}
+	cfg := perf.Config{Instructions: instructions, Seed: seed}
+	nBench := workload.SuiteSize()
+
+	var jobs []engine.Job[perf.Result]
+	for _, pol := range policies {
+		for bi := 0; bi < nBench; bi++ {
+			pol, bi := pol, bi
+			jobs = append(jobs, engine.Job[perf.Result]{
+				Name: fmt.Sprintf("fig9/%v/bench=%d", pol, bi),
+				Seed: seed,
+				Run: func(uint64) perf.Result {
+					c := cfg
+					c.Policy = pol
+					// Each job needs its own generator instance;
+					// construction is deterministic in the seed.
+					return perf.RunBenchmark(workload.SuiteBenchmark(bi, cfg.Seed), c)
+				},
+			})
+		}
+	}
+	flat := engine.Values(engine.Run(jobs, opt))
+	results := make([][]perf.Result, len(policies))
+	for p := range policies {
+		results[p] = flat[p*nBench : (p+1)*nBench]
+	}
+
 	norm := perf.Normalized(results, true)
 	var rows []Figure9Row
 	for b := range results[0] {
@@ -340,12 +447,18 @@ type Figure11Result struct {
 }
 
 // Figure11 attacks the original and the repaired PL cache with Algorithm 2
-// (sender's line locked).
-func Figure11(samples int, seed uint64) Figure11Result {
-	return Figure11Result{
-		Original: secure.RunPLCacheExperiment(false, samples, seed),
-		Fixed:    secure.RunPLCacheExperiment(true, samples, seed),
+// (sender's line locked); the two designs run as parallel jobs.
+func Figure11(samples int, seed uint64, opt RunOptions) Figure11Result {
+	jobs := []engine.Job[secure.PLExperimentResult]{
+		{Name: "fig11/original", Seed: seed, Run: func(s uint64) secure.PLExperimentResult {
+			return secure.RunPLCacheExperiment(false, samples, s)
+		}},
+		{Name: "fig11/fixed", Seed: seed, Run: func(s uint64) secure.PLExperimentResult {
+			return secure.RunPLCacheExperiment(true, samples, s)
+		}},
 	}
+	rs := engine.Run(jobs, opt)
+	return Figure11Result{Original: rs[0].Value, Fixed: rs[1].Value}
 }
 
 // Render summarizes both runs.

@@ -181,29 +181,49 @@ type TableICell struct {
 	Prob      float64
 }
 
-// RunTableI reproduces the full Table I grid with the given trial count
-// (0 = the paper's 10,000).
-func RunTableI(trials int, seed uint64) []TableICell {
-	var cells []TableICell
+// TableISpec identifies one eviction study of the Table I grid (one
+// (condition, policy, sequence) triple, which yields four table cells —
+// iterations 1, 2, 3 and >= 8).
+type TableISpec struct {
+	Init   InitCond
+	Policy replacement.Kind
+	Seq    Sequence
+}
+
+// String names the spec for progress reporting.
+func (sp TableISpec) String() string {
+	return fmt.Sprintf("tableI/%v/%v/seq%d", sp.Init, sp.Policy, int(sp.Seq))
+}
+
+// TableISpecs enumerates the full Table I grid in the paper's row
+// order. The paper reports a single LRU column for both sequences (they
+// agree); both are emitted.
+func TableISpecs() []TableISpec {
+	var specs []TableISpec
 	for _, cond := range []InitCond{InitRandom, InitSequential} {
 		for _, pol := range []replacement.Kind{replacement.TrueLRU, replacement.TreePLRU, replacement.BitPLRU} {
-			seqs := []Sequence{Seq1, Seq2}
-			if pol == replacement.TrueLRU {
-				// The paper reports a single LRU column for
-				// both sequences (they agree); emit both.
-			}
-			for _, seq := range seqs {
-				res := RunEvictionStudy(EvictionStudyConfig{
-					Policy: pol, Trials: trials, Seed: seed,
-				}, cond, seq)
-				for _, it := range []int{1, 2, 3, 8} {
-					cells = append(cells, TableICell{
-						Init: cond, Policy: pol, Seq: seq,
-						Iteration: it, Prob: res.Prob[it-1],
-					})
-				}
+			for _, seq := range []Sequence{Seq1, Seq2} {
+				specs = append(specs, TableISpec{Init: cond, Policy: pol, Seq: seq})
 			}
 		}
+	}
+	return specs
+}
+
+// RunTableISpec runs one grid study and expands it into its four table
+// cells. All randomness derives from seed (RunEvictionStudy mixes in
+// the spec itself), so the studies are independent and can execute in
+// any order or in parallel.
+func RunTableISpec(sp TableISpec, trials int, seed uint64) []TableICell {
+	res := RunEvictionStudy(EvictionStudyConfig{
+		Policy: sp.Policy, Trials: trials, Seed: seed,
+	}, sp.Init, sp.Seq)
+	cells := make([]TableICell, 0, 4)
+	for _, it := range []int{1, 2, 3, 8} {
+		cells = append(cells, TableICell{
+			Init: sp.Init, Policy: sp.Policy, Seq: sp.Seq,
+			Iteration: it, Prob: res.Prob[it-1],
+		})
 	}
 	return cells
 }

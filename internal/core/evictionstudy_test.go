@@ -73,7 +73,10 @@ func TestTableIBitPLRUSeq1EventuallyEvicts(t *testing.T) {
 }
 
 func TestRunTableIShape(t *testing.T) {
-	cells := RunTableI(500, 3)
+	var cells []TableICell
+	for _, sp := range TableISpecs() {
+		cells = append(cells, RunTableISpec(sp, 500, 3)...)
+	}
 	// 2 conditions x 3 policies x 2 sequences x 4 iterations.
 	if len(cells) != 48 {
 		t.Fatalf("Table I has %d cells, want 48", len(cells))

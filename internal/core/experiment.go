@@ -15,45 +15,67 @@ type Trace struct {
 	Elapsed uint64
 	// BitsSent counts complete bit periods the sender transmitted.
 	BitsSent int
+
+	// lat caches Latencies; a Trace is immutable once built, so the
+	// projection is computed at most once.
+	lat []float64
 }
 
-// Latencies returns the observed latencies as a plain slice.
+// Latencies returns the observed latencies as a plain slice. The slice
+// is cached on the trace; callers must not mutate it.
 func (t *Trace) Latencies() []float64 {
-	out := make([]float64, len(t.Observations))
-	for i, o := range t.Observations {
-		out[i] = o.Latency
+	if t.lat == nil && len(t.Observations) > 0 {
+		t.lat = make([]float64, len(t.Observations))
+		for i, o := range t.Observations {
+			t.lat[i] = o.Latency
+		}
 	}
-	return out
+	return t.lat
+}
+
+// ClassifyBit is the one threshold classifier every decode path shares:
+// a latency at or below the threshold is a hit, and whether a hit
+// decodes to 1 is the protocol polarity (Algorithm 1: fast = 1;
+// Algorithm 2: slow = 1).
+func ClassifyBit(latency, threshold float64, hitMeansOne bool) byte {
+	if (latency <= threshold) == hitMeansOne {
+		return 1
+	}
+	return 0
+}
+
+// BitsAt classifies each observation against an explicit threshold.
+func (t *Trace) BitsAt(threshold float64, hitMeansOne bool) []byte {
+	bits := make([]byte, len(t.Observations))
+	for i, o := range t.Observations {
+		bits[i] = ClassifyBit(o.Latency, threshold, hitMeansOne)
+	}
+	return bits
 }
 
 // RawBits classifies each observation into a received bit using the trace
-// threshold and the protocol polarity (Algorithm 1: fast = 1; Algorithm 2:
-// slow = 1).
+// threshold and the protocol polarity.
 func (t *Trace) RawBits(hitMeansOne bool) []byte {
-	bits := make([]byte, len(t.Observations))
-	for i, o := range t.Observations {
-		isHit := o.Latency <= t.Threshold
-		if isHit == hitMeansOne {
-			bits[i] = 1
-		} else {
-			bits[i] = 0
-		}
+	return t.BitsAt(t.Threshold, hitMeansOne)
+}
+
+// FractionOnesAt returns the fraction of observations that decode to 1
+// against an explicit threshold, without materializing the bit slice.
+func (t *Trace) FractionOnesAt(threshold float64, hitMeansOne bool) float64 {
+	if len(t.Observations) == 0 {
+		return 0
 	}
-	return bits
+	ones := 0
+	for _, o := range t.Observations {
+		ones += int(ClassifyBit(o.Latency, threshold, hitMeansOne))
+	}
+	return float64(ones) / float64(len(t.Observations))
 }
 
 // FractionOnes returns the fraction of decoded 1s — the metric of the
 // time-sliced experiments (Figures 6, 8, 15).
 func (t *Trace) FractionOnes(hitMeansOne bool) float64 {
-	bits := t.RawBits(hitMeansOne)
-	if len(bits) == 0 {
-		return 0
-	}
-	ones := 0
-	for _, b := range bits {
-		ones += int(b)
-	}
-	return float64(ones) / float64(len(bits))
+	return t.FractionOnesAt(t.Threshold, hitMeansOne)
 }
 
 // Run executes the channel: the sender transmits message (repeating if
@@ -61,7 +83,7 @@ func (t *Trace) FractionOnes(hitMeansOne bool) float64 {
 // receiver observations have been collected or wallLimit cycles elapse.
 func (s *Setup) Run(message []byte, repeat bool, maxSamples int, wallLimit uint64) *Trace {
 	m := s.NewMachine()
-	var obs []Observation
+	obs := make([]Observation, 0, s.sampleCapacity(maxSamples, wallLimit))
 	s.WarmSender()
 	m.AddThread("sender", ReqSender, s.SenderProgram(message, repeat))
 	m.AddThread("receiver", ReqReceiver, s.ReceiverProgram(&obs, maxSamples))
@@ -127,6 +149,32 @@ func (s *Setup) MeasureErrorRate(msgBits, repeats int) ErrorRateResult {
 	}
 }
 
+// sampleCapacity estimates how many observations a run will collect so
+// the buffer can be allocated once up front: maxSamples when bounded,
+// otherwise the wall limit divided by the sampling period Tr (the
+// receiver takes at most one sample per Tr), capped so absurd wall
+// limits (1<<40 is common) do not translate into absurd allocations.
+func (s *Setup) sampleCapacity(maxSamples int, wallLimit uint64) int {
+	const capLimit = 1 << 16
+	if maxSamples > 0 {
+		if maxSamples > capLimit {
+			return capLimit
+		}
+		return maxSamples
+	}
+	if s.Cfg.Tr == 0 {
+		return 64
+	}
+	est := wallLimit / s.Cfg.Tr
+	if est > capLimit {
+		return capLimit
+	}
+	if est < 16 {
+		return 16
+	}
+	return int(est)
+}
+
 // MeasureFractionOnes runs the time-sliced experiment of Figure 6/8: the
 // sender constantly transmits the single bit `bit`; the receiver takes
 // measurements samples; the fraction of decoded 1s is returned. A fixed
@@ -136,18 +184,7 @@ func (s *Setup) MeasureErrorRate(msgBits, repeats int) ErrorRateResult {
 func (s *Setup) MeasureFractionOnes(bit byte, measurements int) float64 {
 	wall := s.Cfg.Tr*uint64(measurements+2) + 10_000_000
 	tr := s.Run([]byte{bit}, true, measurements, wall)
-	th := s.FixedThreshold()
-	ones := 0
-	for _, o := range tr.Observations {
-		isHit := o.Latency <= th
-		if isHit == s.HitMeansOne() {
-			ones++
-		}
-	}
-	if len(tr.Observations) == 0 {
-		return 0
-	}
-	return float64(ones) / float64(len(tr.Observations))
+	return tr.FractionOnesAt(s.FixedThreshold(), s.HitMeansOne())
 }
 
 // FixedThreshold returns the profile-derived hit/miss latency split for a

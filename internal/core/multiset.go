@@ -177,10 +177,7 @@ func (m *MultiSetup) DecodeSweeps(obs []MultiObservation) [][]byte {
 	for i, o := range obs {
 		bits := make([]byte, len(o.Latencies))
 		for lane, lat := range o.Latencies {
-			isHit := lat <= th
-			if isHit == hitIsOne {
-				bits[lane] = 1
-			}
+			bits[lane] = ClassifyBit(lat, th, hitIsOne)
 		}
 		out[i] = bits
 	}

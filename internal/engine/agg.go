@@ -1,0 +1,19 @@
+package engine
+
+import "repro/internal/stats"
+
+// Summary re-exports the repository's one descriptive-statistics type
+// (mean, sample stddev, min/max, median) so drivers aggregating engine
+// results don't need a second import.
+type Summary = stats.Summary
+
+// SummarizeBy extracts a float64 metric from each result and summarizes
+// it with stats.Summarize — e.g. the error-rate summary over the trials
+// of one sweep cell.
+func SummarizeBy[T any](rs []Result[T], metric func(T) float64) Summary {
+	xs := make([]float64, len(rs))
+	for i, r := range rs {
+		xs[i] = metric(r.Value)
+	}
+	return stats.Summarize(xs)
+}

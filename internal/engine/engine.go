@@ -1,0 +1,182 @@
+// Package engine is the experiment-execution subsystem: every figure,
+// table and benchmark driver in this repository declares its evaluation
+// grid as a slice of Jobs and hands it to Run, which fans the jobs out
+// over a worker pool.
+//
+// The engine's contract is determinism: results are collected in
+// submission order and each job derives all of its randomness from its
+// own seed, so a parallel run over N workers is bit-identical to a
+// serial run over 1 worker. Parallelism is safe because every job
+// constructs its own simulated machine (hierarchy, scheduler, TSC,
+// RNG) — the simulator has no shared mutable state.
+//
+// The unit of parallelism is the experiment cell: one simulated
+// machine, run start to finish. Loops *inside* a cell (the receiver's
+// sampling loop, the sender's encode loop) are the protocol under
+// study and stay sequential; loops *across* cells (profiles ×
+// algorithms × (Tr, Ts) points × trials) are what the engine
+// parallelizes.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Job is one independent experiment cell: a name for progress
+// reporting, the seed from which the cell derives all randomness, and
+// the function that runs it.
+type Job[T any] struct {
+	Name string
+	Seed uint64
+	Run  func(seed uint64) T
+}
+
+// Result pairs a job's output with its identity and wall-time cost.
+type Result[T any] struct {
+	Name  string
+	Seed  uint64
+	Value T
+	// Wall is the host wall time the job took (not simulated cycles).
+	Wall time.Duration
+}
+
+// Event is one progress notification: job Index just finished as the
+// Done'th of Total, after Wall host time.
+type Event struct {
+	Index, Done, Total int
+	Name               string
+	Wall               time.Duration
+}
+
+// Options tunes an engine run. The zero value runs on all cores with no
+// progress reporting.
+type Options struct {
+	// Workers is the pool size; <= 0 selects DefaultWorkers().
+	Workers int
+	// Progress, if set, is called once per completed job. Calls are
+	// serialized (never concurrent) but arrive in completion order,
+	// which under parallelism is not submission order.
+	Progress func(Event)
+}
+
+// WorkersEnv is the environment variable that overrides the default
+// worker count (useful for CI and for the cmd/ binaries' default).
+const WorkersEnv = "LRULEAK_WORKERS"
+
+// DefaultWorkers returns the pool size used when Options.Workers <= 0:
+// the LRULEAK_WORKERS environment variable if set and positive,
+// otherwise GOMAXPROCS.
+func DefaultWorkers() int {
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return DefaultWorkers()
+}
+
+// Run executes jobs over the worker pool and returns one Result per
+// job, in submission order. The output is independent of the worker
+// count provided each job is deterministic in its seed.
+func Run[T any](jobs []Job[T], opts Options) []Result[T] {
+	out := make([]Result[T], len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	workers := opts.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var mu sync.Mutex // serializes Progress calls and the done counter
+	done := 0
+	finish := func(i int, wall time.Duration) {
+		if opts.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		opts.Progress(Event{Index: i, Done: done, Total: len(jobs), Name: jobs[i].Name, Wall: wall})
+		mu.Unlock()
+	}
+	runOne := func(i int) {
+		start := time.Now()
+		v := jobs[i].Run(jobs[i].Seed)
+		wall := time.Since(start)
+		out[i] = Result[T]{Name: jobs[i].Name, Seed: jobs[i].Seed, Value: v, Wall: wall}
+		finish(i, wall)
+	}
+
+	if workers == 1 {
+		for i := range jobs {
+			runOne(i)
+		}
+		return out
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Values strips the bookkeeping from a result slice, preserving order.
+func Values[T any](rs []Result[T]) []T {
+	out := make([]T, len(rs))
+	for i, r := range rs {
+		out[i] = r.Value
+	}
+	return out
+}
+
+// RunTrials fans one experiment out over trials repetitions. Trial i
+// runs f(i, seeds[i]) where the seeds are split deterministically from
+// root (see Seeds), and the per-trial results come back in trial order.
+func RunTrials[T any](name string, root uint64, trials int, f func(trial int, seed uint64) T, opts Options) []Result[T] {
+	seeds := Seeds(root, trials)
+	jobs := make([]Job[T], trials)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[T]{
+			Name: fmt.Sprintf("%s/trial=%d", name, i),
+			Seed: seeds[i],
+			Run:  func(seed uint64) T { return f(i, seed) },
+		}
+	}
+	return Run(jobs, opts)
+}
+
+// StderrProgress returns a Progress callback that writes one line per
+// completed job to w (pass os.Stderr), for the cmd/ binaries.
+func StderrProgress(w io.Writer) func(Event) {
+	return func(ev Event) {
+		fmt.Fprintf(w, "[%d/%d] %-40s %8.1fms\n",
+			ev.Done, ev.Total, ev.Name, float64(ev.Wall.Microseconds())/1000)
+	}
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// simulate is a stand-in experiment: deterministic in its seed, with
+// enough work that parallel execution actually interleaves.
+func simulate(seed uint64) float64 {
+	r := rng.New(seed)
+	acc := 0.0
+	for i := 0; i < 5000; i++ {
+		acc += r.Float64()
+	}
+	return acc
+}
+
+func testJobs(n int) []Job[float64] {
+	seeds := Seeds(42, n)
+	jobs := make([]Job[float64], n)
+	for i := range jobs {
+		jobs[i] = Job[float64]{Name: "sim", Seed: seeds[i], Run: simulate}
+	}
+	return jobs
+}
+
+func stripWall[T any](rs []Result[T]) []Result[T] {
+	out := make([]Result[T], len(rs))
+	copy(out, rs)
+	for i := range out {
+		out[i].Wall = 0
+	}
+	return out
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := testJobs(64)
+	serial := Run(jobs, Options{Workers: 1})
+	for _, workers := range []int{2, 4, 8, 16} {
+		parallel := Run(jobs, Options{Workers: workers})
+		if !reflect.DeepEqual(stripWall(serial), stripWall(parallel)) {
+			t.Fatalf("Workers=%d results differ from serial", workers)
+		}
+	}
+}
+
+func TestRunPreservesSubmissionOrder(t *testing.T) {
+	jobs := make([]Job[int], 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Name: "idx", Run: func(uint64) int { return i }}
+	}
+	rs := Run(jobs, Options{Workers: 8})
+	for i, r := range rs {
+		if r.Value != i {
+			t.Fatalf("result %d holds job %d's value", i, r.Value)
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if got := Run([]Job[int]{}, Options{}); len(got) != 0 {
+		t.Fatalf("empty job list returned %d results", len(got))
+	}
+	rs := Run([]Job[int]{{Name: "one", Seed: 7, Run: func(s uint64) int { return int(s) }}}, Options{Workers: 4})
+	if rs[0].Value != 7 || rs[0].Name != "one" || rs[0].Seed != 7 {
+		t.Fatalf("single job result %+v", rs[0])
+	}
+}
+
+func TestProgressReportsEveryJobExactlyOnce(t *testing.T) {
+	const n = 50
+	var calls int32
+	seenIndex := make([]bool, n)
+	lastDone := 0
+	opts := Options{
+		Workers: 8,
+		Progress: func(ev Event) {
+			// The callback is serialized, so this needs no locking.
+			atomic.AddInt32(&calls, 1)
+			if ev.Total != n {
+				t.Errorf("Total = %d", ev.Total)
+			}
+			if ev.Done != lastDone+1 {
+				t.Errorf("Done jumped from %d to %d", lastDone, ev.Done)
+			}
+			lastDone = ev.Done
+			if seenIndex[ev.Index] {
+				t.Errorf("job %d reported twice", ev.Index)
+			}
+			seenIndex[ev.Index] = true
+		},
+	}
+	Run(testJobs(n), opts)
+	if calls != n {
+		t.Fatalf("progress called %d times, want %d", calls, n)
+	}
+}
+
+func TestWallTimeAccounting(t *testing.T) {
+	jobs := []Job[int]{
+		{Name: "sleep", Run: func(uint64) int { time.Sleep(2 * time.Millisecond); return 0 }},
+		{Name: "sleep", Run: func(uint64) int { time.Sleep(2 * time.Millisecond); return 0 }},
+	}
+	rs := Run(jobs, Options{Workers: 2})
+	for i, r := range rs {
+		if r.Wall < time.Millisecond {
+			t.Errorf("job %d wall %v, want >= 1ms", i, r.Wall)
+		}
+	}
+}
+
+func TestSeedsDeterministicDistinctNonZero(t *testing.T) {
+	a, b := Seeds(9, 256), Seeds(9, 256)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Seeds not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if s == 0 {
+			t.Fatal("zero seed emitted")
+		}
+		if seen[s] {
+			t.Fatalf("duplicate seed %#x", s)
+		}
+		seen[s] = true
+	}
+	// A longer prefix shares the shorter prefix's seeds (position-based).
+	long := Seeds(9, 512)
+	if !reflect.DeepEqual(long[:256], a) {
+		t.Fatal("Seeds prefix not stable under n")
+	}
+}
+
+func TestRunTrialsOrderAndSeeds(t *testing.T) {
+	type pair struct {
+		Trial int
+		Seed  uint64
+	}
+	rs := RunTrials("t", 5, 20, func(trial int, seed uint64) pair {
+		return pair{trial, seed}
+	}, Options{Workers: 4})
+	seeds := Seeds(5, 20)
+	for i, r := range rs {
+		if r.Value.Trial != i {
+			t.Fatalf("result %d is trial %d", i, r.Value.Trial)
+		}
+		if r.Value.Seed != seeds[i] {
+			t.Fatalf("trial %d got seed %#x, want %#x", i, r.Value.Seed, seeds[i])
+		}
+		if !strings.Contains(r.Name, "trial=") {
+			t.Fatalf("trial name %q", r.Name)
+		}
+	}
+}
+
+func TestSummarizeBy(t *testing.T) {
+	rs := []Result[pairT]{{Value: pairT{1}}, {Value: pairT{2}}, {Value: pairT{3}}, {Value: pairT{6}}}
+	s := SummarizeBy(rs, func(p pairT) float64 { return p.V })
+	if s.N != 4 || s.Mean != 3 || s.Min != 1 || s.Max != 6 {
+		t.Fatalf("summary %+v", s)
+	}
+	// stats.Summarize semantics: sample (N-1) standard deviation.
+	if math.Abs(s.Std-math.Sqrt(14.0/3)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if z := SummarizeBy(nil, func(p pairT) float64 { return p.V }); z.N != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+type pairT struct{ V float64 }
+
+func TestValues(t *testing.T) {
+	rs := Run(testJobs(5), Options{Workers: 1})
+	vs := Values(rs)
+	for i := range vs {
+		if vs[i] != rs[i].Value {
+			t.Fatal("Values order broken")
+		}
+	}
+}
+
+func TestStderrProgressFormat(t *testing.T) {
+	var b strings.Builder
+	p := StderrProgress(&b)
+	p(Event{Index: 0, Done: 1, Total: 3, Name: "cell", Wall: 1500 * time.Microsecond})
+	if !strings.Contains(b.String(), "[1/3]") || !strings.Contains(b.String(), "cell") {
+		t.Fatalf("progress line %q", b.String())
+	}
+}
+
+func TestDefaultWorkersEnvOverride(t *testing.T) {
+	t.Setenv(WorkersEnv, "3")
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers with env = %d", got)
+	}
+	t.Setenv(WorkersEnv, "not-a-number")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers fallback = %d", got)
+	}
+}

@@ -1,0 +1,23 @@
+package engine
+
+import "repro/internal/rng"
+
+// Seeds derives n per-job seeds by splitting the root RNG: seed i is
+// the i'th draw of an rng.Rand constructed from root. The derivation is
+// position-based, so job i's seed does not depend on how many jobs run
+// before it or on the worker count — the property the engine's
+// determinism contract rests on.
+func Seeds(root uint64, n int) []uint64 {
+	r := rng.New(root)
+	out := make([]uint64, n)
+	for i := range out {
+		s := r.Uint64()
+		if s == 0 {
+			// Seed 0 means "use the default" to most config structs
+			// in this repository; avoid it.
+			s = 0x5eed
+		}
+		out[i] = s
+	}
+	return out
+}

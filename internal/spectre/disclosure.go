@@ -110,6 +110,15 @@ func (a *Attack) RecoverByte(idx int) (byte, float64) {
 	return byte(best), float64(bestVotes) / float64(a.cfg.Rounds)
 }
 
+// RecoverByteWarm warms the victim's probe lines (the Table V
+// precondition RecoverSecret establishes once for the whole string) and
+// then leaks the single byte idx. It is the per-byte unit of work when
+// recovery is fanned out over one Attack instance per byte.
+func (a *Attack) RecoverByteWarm(idx int) (byte, float64) {
+	a.warmArray2()
+	return a.RecoverByte(idx)
+}
+
 // RecoverSecret leaks every byte of the planted secret.
 func (a *Attack) RecoverSecret() []byte {
 	a.warmArray2()

@@ -175,28 +175,52 @@ func (m *mixed) Next() Access {
 	return a
 }
 
+// suiteBuilders constructs each Figure 9 benchmark lazily, so callers
+// that need a single generator (one parallel job per benchmark) do not
+// pay for the whole suite — pointer-chase permutations and Zipf CDF
+// tables are the expensive parts.
+var suiteBuilders = []func(seed uint64) Generator{
+	func(uint64) Generator { return newZipf("perlbench", 4096, 1.1) },
+	func(uint64) Generator {
+		return &mixed{name: "bzip2", hot: newZipf("", 1024, 1.0),
+			cold: &sequential{bytes: 1 << 22, stride: lineSize}, p: 0.85}
+	},
+	func(uint64) Generator { return newZipf("gcc", 16384, 0.9) },
+	func(seed uint64) Generator { return newPointerChase("mcf", 1<<16, seed) },
+	func(uint64) Generator {
+		return &mixed{name: "gobmk", hot: newZipf("", 2048, 1.2),
+			cold: &sequential{bytes: 1 << 20, stride: lineSize}, p: 0.7}
+	},
+	func(uint64) Generator { return &strided{name: "hmmer", lines: 3000, stride: 7} },
+	func(uint64) Generator { return newZipf("sjeng", 8192, 1.05) },
+	func(uint64) Generator { return &sequential{name: "libquantum", bytes: 1 << 23, stride: lineSize} },
+	func(seed uint64) Generator { return newPointerChase("omnetpp", 1<<15, seed+7) },
+	func(uint64) Generator { return &strided{name: "milc", lines: 1 << 14, stride: 33} },
+	func(uint64) Generator { return &sequential{name: "lbm", bytes: 1 << 24, stride: 2 * lineSize} },
+	func(uint64) Generator {
+		return &mixed{name: "sphinx3", hot: newZipf("", 512, 1.3),
+			cold: &sequential{bytes: 1 << 21, stride: lineSize}, p: 0.6}
+	},
+}
+
+// SuiteSize is the number of Figure 9 benchmarks, without constructing
+// any of them.
+func SuiteSize() int { return len(suiteBuilders) }
+
+// SuiteBenchmark builds and seeds the i'th suite benchmark alone. It is
+// identical to Suite(seed)[i].
+func SuiteBenchmark(i int, seed uint64) Generator {
+	g := suiteBuilders[i](seed)
+	g.Reset(seed + uint64(i)*1315423911)
+	return g
+}
+
 // Suite returns the Figure 9 benchmark suite, seeded and ready to stream.
 // Names follow the SPEC programs whose locality each generator imitates.
 func Suite(seed uint64) []Generator {
-	gens := []Generator{
-		newZipf("perlbench", 4096, 1.1),
-		&mixed{name: "bzip2", hot: newZipf("", 1024, 1.0),
-			cold: &sequential{bytes: 1 << 22, stride: lineSize}, p: 0.85},
-		newZipf("gcc", 16384, 0.9),
-		newPointerChase("mcf", 1<<16, seed),
-		&mixed{name: "gobmk", hot: newZipf("", 2048, 1.2),
-			cold: &sequential{bytes: 1 << 20, stride: lineSize}, p: 0.7},
-		&strided{name: "hmmer", lines: 3000, stride: 7},
-		newZipf("sjeng", 8192, 1.05),
-		&sequential{name: "libquantum", bytes: 1 << 23, stride: lineSize},
-		newPointerChase("omnetpp", 1<<15, seed+7),
-		&strided{name: "milc", lines: 1 << 14, stride: 33},
-		&sequential{name: "lbm", bytes: 1 << 24, stride: 2 * lineSize},
-		&mixed{name: "sphinx3", hot: newZipf("", 512, 1.3),
-			cold: &sequential{bytes: 1 << 21, stride: lineSize}, p: 0.6},
-	}
-	for i, g := range gens {
-		g.Reset(seed + uint64(i)*1315423911)
+	gens := make([]Generator, SuiteSize())
+	for i := range gens {
+		gens[i] = SuiteBenchmark(i, seed)
 	}
 	return gens
 }

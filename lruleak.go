@@ -28,8 +28,11 @@
 package lruleak
 
 import (
+	"io"
+
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hier"
 	"repro/internal/replacement"
 	"repro/internal/sched"
@@ -62,7 +65,23 @@ type (
 	SpectreAttack = spectre.Attack
 	// BaselineChannel is a comparison attack (Flush+Reload/Prime+Probe).
 	BaselineChannel = baseline.Channel
+	// ReplacementKind selects an L1 replacement policy.
+	ReplacementKind = replacement.Kind
+	// RunOptions tunes how a driver's job grid executes: worker count
+	// (0 = all cores) and an optional progress callback. The zero value
+	// runs fully parallel and silent; results are identical either way.
+	RunOptions = engine.Options
+	// JobEvent is one progress notification from a running driver.
+	JobEvent = engine.Event
 )
+
+// DefaultWorkers is the worker-pool size drivers use when
+// RunOptions.Workers is 0: $LRULEAK_WORKERS if set, else GOMAXPROCS.
+func DefaultWorkers() int { return engine.DefaultWorkers() }
+
+// ProgressTo returns a RunOptions.Progress callback printing one line
+// per completed experiment cell to w (typically os.Stderr).
+func ProgressTo(w io.Writer) func(JobEvent) { return engine.StderrProgress(w) }
 
 // Protocol selectors.
 const (

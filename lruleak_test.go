@@ -63,7 +63,7 @@ func TestTableIIRender(t *testing.T) {
 }
 
 func TestTableIRenderAndShape(t *testing.T) {
-	cells := TableI(300, 5)
+	cells := TableI(300, 5, RunOptions{})
 	out := RenderTableI(cells)
 	if !strings.Contains(out, "Tree-PLRU") || !strings.Contains(out, "sequential") {
 		t.Errorf("Table I render incomplete:\n%s", out[:200])
@@ -71,7 +71,7 @@ func TestTableIRenderAndShape(t *testing.T) {
 }
 
 func TestTableVValuesMatchPaperScale(t *testing.T) {
-	rows := TableV(3)
+	rows := TableV(3, RunOptions{})
 	if len(rows) != 3 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -91,11 +91,11 @@ func TestTableVValuesMatchPaperScale(t *testing.T) {
 }
 
 func TestFigure3SeparatesFigure13DoesNot(t *testing.T) {
-	f3 := Figure3(SandyBridge(), 800, 7)
+	f3 := Figure3(SandyBridge(), 800, 7, RunOptions{})
 	if !f3.Separable {
 		t.Error("Figure 3: pointer chase should separate hit from miss")
 	}
-	f13 := Figure13(SandyBridge(), 800, 7)
+	f13 := Figure13(SandyBridge(), 800, 7, RunOptions{})
 	if f13.Separable {
 		t.Error("Figure 13: single access must NOT separate (Appendix A)")
 	}
@@ -105,7 +105,7 @@ func TestFigure3SeparatesFigure13DoesNot(t *testing.T) {
 }
 
 func TestFigure5TraceBimodal(t *testing.T) {
-	f := Figure5(SandyBridge(), Alg1SharedMemory, 200, 11)
+	f := Figure5(SandyBridge(), Alg1SharedMemory, 200, 11, RunOptions{})
 	var lo, hi int
 	for _, o := range f.Trace.Observations {
 		if o.Latency > f.Trace.Threshold {
@@ -123,7 +123,7 @@ func TestFigure5TraceBimodal(t *testing.T) {
 }
 
 func TestFigure7SmoothedWave(t *testing.T) {
-	f := Figure7(Alg1SharedMemory, 400, 13)
+	f := Figure7(Alg1SharedMemory, 400, 13, RunOptions{})
 	if len(f.Smoothed) != len(f.Trace.Observations) {
 		t.Fatal("smoothing length mismatch")
 	}
@@ -143,7 +143,7 @@ func TestFigure7SmoothedWave(t *testing.T) {
 }
 
 func TestFigure9RowsComplete(t *testing.T) {
-	rows := Figure9(150_000, 3)
+	rows := Figure9(150_000, 3, RunOptions{})
 	if len(rows) != 12 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -156,7 +156,7 @@ func TestFigure9RowsComplete(t *testing.T) {
 }
 
 func TestFigure11LeakThenFixed(t *testing.T) {
-	res := Figure11(200, 17)
+	res := Figure11(200, 17, RunOptions{})
 	if res.Original.Separation <= res.Fixed.Separation {
 		t.Errorf("fix did not reduce leak: %v -> %v",
 			res.Original.Separation, res.Fixed.Separation)
@@ -179,7 +179,7 @@ func TestSpectreEndToEnd(t *testing.T) {
 }
 
 func TestTableVIIAccuracies(t *testing.T) {
-	rows := TableVII(EncodeString("AB"), 23)
+	rows := TableVII(EncodeString("AB"), 23, RunOptions{})
 	if len(rows) != 8 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -194,7 +194,7 @@ func TestTableVIIAccuracies(t *testing.T) {
 }
 
 func TestTableIVShape(t *testing.T) {
-	cells := TableIV(24, 2, 29)
+	cells := TableIV(24, 2, 29, RunOptions{})
 	if len(cells) != 8 {
 		t.Fatalf("%d cells", len(cells))
 	}

@@ -1,0 +1,173 @@
+package lruleak
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sched"
+)
+
+// This file is the generalization the engine buys us: arbitrary
+// evaluation grids over the channel's main dimensions as a single call.
+// The paper's Figure 4 is one slice of this space (one profile, one
+// policy); related work (Cañones et al., "Security Analysis of Cache
+// Replacement Policies") sweeps the same experiments across replacement
+// policies, which here is one extra slice element.
+
+// TrTs is one operating point of the covert channel.
+type TrTs struct {
+	Tr, Ts uint64
+}
+
+// SweepSpec declares a cross-product grid of SMT error-rate
+// experiments. Zero-valued dimensions get sensible defaults, so the
+// zero spec is already a runnable (if small) sweep.
+type SweepSpec struct {
+	// Profiles defaults to all three Table III CPUs.
+	Profiles []Profile
+	// Policies defaults to Tree-PLRU (the policy of the evaluated
+	// parts).
+	Policies []ReplacementKind
+	// Algorithms defaults to both protocols.
+	Algorithms []core.Algorithm
+	// Points defaults to the paper's Intel operating point
+	// (Tr=600, Ts=6000).
+	Points []TrTs
+	// Ds defaults to {0}, i.e. each algorithm's default split.
+	Ds []int
+	// Trials is the number of independent repetitions per cell, each
+	// with its own split seed; the cell reports the error-rate summary
+	// over them. Defaults to 1.
+	Trials int
+	// MsgBits and Repeats control the per-trial measurement cost
+	// (defaults 64 and 4, like Figure 4).
+	MsgBits, Repeats int
+}
+
+func (sp SweepSpec) withDefaults() SweepSpec {
+	if len(sp.Profiles) == 0 {
+		sp.Profiles = Profiles()
+	}
+	if len(sp.Policies) == 0 {
+		sp.Policies = []ReplacementKind{TreePLRU}
+	}
+	if len(sp.Algorithms) == 0 {
+		sp.Algorithms = []core.Algorithm{Alg1SharedMemory, Alg2NoSharedMemory}
+	}
+	if len(sp.Points) == 0 {
+		sp.Points = []TrTs{{Tr: 600, Ts: 6000}}
+	}
+	if len(sp.Ds) == 0 {
+		sp.Ds = []int{0}
+	}
+	if sp.Trials == 0 {
+		sp.Trials = 1
+	}
+	if sp.MsgBits == 0 {
+		sp.MsgBits = 64
+	}
+	if sp.Repeats == 0 {
+		sp.Repeats = 4
+	}
+	return sp
+}
+
+// SweepCell is one grid point's identity and measured result.
+type SweepCell struct {
+	Profile   Profile
+	Policy    ReplacementKind
+	Algorithm core.Algorithm
+	Tr, Ts    uint64
+	D         int
+	// RateBps is the operating point's transmission rate (identical
+	// across trials).
+	RateBps float64
+	// Err summarizes the error rate over the spec's Trials independent
+	// repetitions (N == 1 when Trials is 1).
+	Err engine.Summary
+}
+
+// Sweep runs the full cross product of the spec through the engine and
+// returns the cells in grid order (profiles-major, then policies,
+// algorithms, points, Ds). Each (cell, trial) seed is split
+// deterministically from the root seed by grid position. Per §VI-B,
+// Zen + Algorithm 1 cells run sender and receiver in one address space
+// (the configuration Table IV and Figure 7 use, without which that
+// combination does not work on AMD).
+func Sweep(spec SweepSpec, seed uint64, opt RunOptions) []SweepCell {
+	spec = spec.withDefaults()
+
+	type cellID struct {
+		prof Profile
+		pol  ReplacementKind
+		alg  core.Algorithm
+		pt   TrTs
+		d    int
+	}
+	var ids []cellID
+	for _, prof := range spec.Profiles {
+		for _, pol := range spec.Policies {
+			for _, alg := range spec.Algorithms {
+				for _, pt := range spec.Points {
+					for _, d := range spec.Ds {
+						ids = append(ids, cellID{prof, pol, alg, pt, d})
+					}
+				}
+			}
+		}
+	}
+
+	seeds := engine.Seeds(seed, len(ids)*spec.Trials)
+	jobs := make([]engine.Job[ErrorRateResult], 0, len(ids)*spec.Trials)
+	for _, id := range ids {
+		id := id
+		for trial := 0; trial < spec.Trials; trial++ {
+			jobs = append(jobs, engine.Job[ErrorRateResult]{
+				Name: fmt.Sprintf("sweep/%s/%v/alg=%d/tr=%d/ts=%d/d=%d/trial=%d",
+					id.prof.Arch, id.pol, int(id.alg), id.pt.Tr, id.pt.Ts, id.d, trial),
+				Seed: seeds[len(jobs)],
+				Run: func(s uint64) ErrorRateResult {
+					c := NewChannel(ChannelConfig{
+						Profile: id.prof, L1Policy: id.pol, Algorithm: id.alg,
+						Mode: sched.SMT, Tr: id.pt.Tr, Ts: id.pt.Ts, D: id.d,
+						SameAddressSpace: id.prof.Arch == "Zen" && id.alg == Alg1SharedMemory,
+						Seed:             s,
+					})
+					return c.MeasureErrorRate(spec.MsgBits, spec.Repeats)
+				},
+			})
+		}
+	}
+	rs := engine.Run(jobs, opt)
+
+	cells := make([]SweepCell, len(ids))
+	for ci, id := range ids {
+		sub := rs[ci*spec.Trials : (ci+1)*spec.Trials]
+		cells[ci] = SweepCell{
+			Profile: id.prof, Policy: id.pol, Algorithm: id.alg,
+			Tr: id.pt.Tr, Ts: id.pt.Ts, D: id.d,
+			RateBps: sub[0].Value.RateBps,
+			Err:     engine.SummarizeBy(sub, func(r ErrorRateResult) float64 { return r.ErrorRate }),
+		}
+	}
+	return cells
+}
+
+// RenderSweep formats a sweep as a flat table (mean ± stddev error when
+// the sweep ran multiple trials per cell).
+func RenderSweep(cells []SweepCell) string {
+	var b strings.Builder
+	b.WriteString("CPU                     Policy      Algorithm                         Tr      Ts      d  Rate        Error\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-22s  %-10v  %-32v  %-6d  %-6d  %d  %7.1f Kbps  %5.1f%%",
+			c.Profile.Name, c.Policy, c.Algorithm, c.Tr, c.Ts, c.D,
+			c.RateBps/1000, 100*c.Err.Mean)
+		if c.Err.N > 1 {
+			fmt.Fprintf(&b, " ± %4.1f%%", 100*c.Err.Std)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -6,17 +6,38 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/perfctr"
 	"repro/internal/sched"
 	"repro/internal/spectre"
 )
 
-// This file contains one driver per table of the paper's evaluation.
+// This file contains one driver per table of the paper's evaluation. Like
+// the figure drivers, each declares its grid as engine jobs; results come
+// back in submission order, so rendered tables are identical at any worker
+// count.
 
 // TableI reproduces the eviction-probability grid (trials 0 = the paper's
-// 10,000).
-func TableI(trials int, seed uint64) []core.TableICell {
-	return core.RunTableI(trials, seed)
+// 10,000): one job per (condition, policy, sequence) study, four cells
+// each.
+func TableI(trials int, seed uint64, opt RunOptions) []core.TableICell {
+	specs := core.TableISpecs()
+	jobs := make([]engine.Job[[]core.TableICell], len(specs))
+	for i, sp := range specs {
+		sp := sp
+		jobs[i] = engine.Job[[]core.TableICell]{
+			Name: sp.String(),
+			Seed: seed,
+			Run: func(s uint64) []core.TableICell {
+				return core.RunTableISpec(sp, trials, s)
+			},
+		}
+	}
+	var cells []core.TableICell
+	for _, group := range engine.Values(engine.Run(jobs, opt)) {
+		cells = append(cells, group...)
+	}
+	return cells
 }
 
 // RenderTableI formats the grid like the paper's Table I.
@@ -69,17 +90,19 @@ type TableIVCell struct {
 
 // TableIV measures the transmission-rate summary. The SMT entries run the
 // error-rate experiment at the paper's operating point (Tr=600/Ts=6000 on
-// Intel, Tr=1000/Ts=1e5 on AMD); the time-sliced entries use the
-// measurements-per-decision estimate of Sections V-B and VI-B.
-func TableIV(msgBits, repeats int, seed uint64) []TableIVCell {
+// Intel, Tr=1000/Ts=1e5 on AMD) as parallel jobs; the time-sliced entries
+// use the measurements-per-decision estimate of Sections V-B and VI-B and
+// need no simulation.
+func TableIV(msgBits, repeats int, seed uint64, opt RunOptions) []TableIVCell {
 	if msgBits == 0 {
 		msgBits = 64
 	}
 	if repeats == 0 {
 		repeats = 4
 	}
-	var out []TableIVCell
-	for _, prof := range []Profile{SandyBridge(), Zen()} {
+	profiles := []Profile{SandyBridge(), Zen()}
+	var jobs []engine.Job[TableIVCell]
+	for _, prof := range profiles {
 		ts, tr := uint64(6000), uint64(600)
 		same := false
 		if prof.Arch == "Zen" {
@@ -87,17 +110,32 @@ func TableIV(msgBits, repeats int, seed uint64) []TableIVCell {
 			same = true // §VI-B: Algorithm 1 needs one address space on Zen
 		}
 		for _, alg := range []core.Algorithm{Alg1SharedMemory, Alg2NoSharedMemory} {
-			s := NewChannel(ChannelConfig{
-				Profile: prof, Algorithm: alg, Mode: sched.SMT,
-				Tr: tr, Ts: ts, Seed: seed,
-				SameAddressSpace: same && alg == Alg1SharedMemory,
-			})
-			res := s.MeasureErrorRate(msgBits, repeats)
-			out = append(out, TableIVCell{
-				Profile: prof, Mode: sched.SMT, Algorithm: alg,
-				RateBps: res.RateBps, ErrorRate: res.ErrorRate,
+			prof, alg, ts, tr, same := prof, alg, ts, tr, same
+			jobs = append(jobs, engine.Job[TableIVCell]{
+				Name: fmt.Sprintf("tableIV/%s/alg=%d", prof.Arch, int(alg)),
+				Seed: seed,
+				Run: func(s uint64) TableIVCell {
+					c := NewChannel(ChannelConfig{
+						Profile: prof, Algorithm: alg, Mode: sched.SMT,
+						Tr: tr, Ts: ts, Seed: s,
+						SameAddressSpace: same && alg == Alg1SharedMemory,
+					})
+					res := c.MeasureErrorRate(msgBits, repeats)
+					return TableIVCell{
+						Profile: prof, Mode: sched.SMT, Algorithm: alg,
+						RateBps: res.RateBps, ErrorRate: res.ErrorRate,
+					}
+				},
 			})
 		}
+	}
+	smt := engine.Values(engine.Run(jobs, opt))
+
+	// Reassemble in the paper's row order: per profile, the two measured
+	// SMT entries followed by the two derived time-sliced entries.
+	var out []TableIVCell
+	for pi, prof := range profiles {
+		out = append(out, smt[2*pi], smt[2*pi+1])
 		// Time-sliced Algorithm 1: rate ~ 1 bit per K measurements of
 		// period Tr (K=10 on Intel, 100 on AMD per the paper).
 		k := 10.0
@@ -141,19 +179,30 @@ type TableVRow struct {
 	LRU     int
 }
 
-// TableV measures the sender's per-bit encoding cost for each channel.
-func TableV(seed uint64) []TableVRow {
-	var rows []TableVRow
-	for _, prof := range Profiles() {
-		mk := func() *Channel {
-			return NewChannel(ChannelConfig{Profile: prof, Algorithm: Alg1SharedMemory, Seed: seed})
+// TableV measures the sender's per-bit encoding cost for each channel,
+// one job per profile.
+func TableV(seed uint64, opt RunOptions) []TableVRow {
+	profiles := Profiles()
+	jobs := make([]engine.Job[TableVRow], len(profiles))
+	for i, prof := range profiles {
+		prof := prof
+		jobs[i] = engine.Job[TableVRow]{
+			Name: fmt.Sprintf("tableV/%s", prof.Arch),
+			Seed: seed,
+			Run: func(s uint64) TableVRow {
+				mk := func() *Channel {
+					return NewChannel(ChannelConfig{Profile: prof, Algorithm: Alg1SharedMemory, Seed: s})
+				}
+				return TableVRow{
+					Profile: prof,
+					FRMem:   baseline.New(baseline.FlushReloadMem, mk()).EncodeCostOne(),
+					FRL1:    baseline.New(baseline.FlushReloadL1, mk()).EncodeCostOne(),
+					LRU:     mk().EncodeCost(),
+				}
+			},
 		}
-		frMem := baseline.New(baseline.FlushReloadMem, mk()).EncodeCostOne()
-		frL1 := baseline.New(baseline.FlushReloadL1, mk()).EncodeCostOne()
-		lru := mk().EncodeCost()
-		rows = append(rows, TableVRow{Profile: prof, FRMem: frMem, FRL1: frL1, LRU: lru})
 	}
-	return rows
+	return engine.Values(engine.Run(jobs, opt))
 }
 
 // RenderTableV formats Table V.
@@ -175,52 +224,66 @@ type TableVIRow struct {
 
 // TableVI runs each channel and collects the sender's per-level miss rates,
 // plus the baselines of a sender sharing with a benign workload and a
-// sender alone.
-func TableVI(samples int, seed uint64) []TableVIRow {
+// sender alone — one job per table row.
+func TableVI(samples int, seed uint64, opt RunOptions) []TableVIRow {
 	if samples == 0 {
 		samples = 200
 	}
-	var rows []TableVIRow
+	var jobs []engine.Job[TableVIRow]
+	add := func(name string, run func(seed uint64) TableVIRow) {
+		jobs = append(jobs, engine.Job[TableVIRow]{Name: name, Seed: seed, Run: run})
+	}
 	for _, prof := range []Profile{SandyBridge(), Skylake()} {
+		prof := prof
 		// F+R variants and the LRU channels.
 		for _, kind := range []baseline.Kind{baseline.FlushReloadMem, baseline.FlushReloadL1} {
-			s := NewChannel(ChannelConfig{Profile: prof, Algorithm: Alg1SharedMemory,
-				Mode: sched.SMT, Tr: 600, Ts: 6000, Seed: seed})
-			ch := baseline.New(kind, s)
-			ch.Run([]byte{1, 0}, true, samples, 1<<40)
-			rows = append(rows, TableVIRow{prof, kind.String(), perfctr.Collect(s.Hier, core.ReqSender)})
+			kind := kind
+			add(fmt.Sprintf("tableVI/%s/%v", prof.Arch, kind), func(s uint64) TableVIRow {
+				c := NewChannel(ChannelConfig{Profile: prof, Algorithm: Alg1SharedMemory,
+					Mode: sched.SMT, Tr: 600, Ts: 6000, Seed: s})
+				ch := baseline.New(kind, c)
+				ch.Run([]byte{1, 0}, true, samples, 1<<40)
+				return TableVIRow{prof, kind.String(), perfctr.Collect(c.Hier, core.ReqSender)}
+			})
 		}
 		for _, alg := range []core.Algorithm{Alg1SharedMemory, Alg2NoSharedMemory} {
-			s := NewChannel(ChannelConfig{Profile: prof, Algorithm: alg,
-				Mode: sched.SMT, Tr: 600, Ts: 6000, Seed: seed})
-			s.Run([]byte{1, 0}, true, samples, 1<<40)
+			alg := alg
 			name := "L1 LRU Alg.1"
 			if alg == Alg2NoSharedMemory {
 				name = "L1 LRU Alg.2"
 			}
-			rows = append(rows, TableVIRow{prof, name, perfctr.Collect(s.Hier, core.ReqSender)})
+			add(fmt.Sprintf("tableVI/%s/%s", prof.Arch, name), func(s uint64) TableVIRow {
+				c := NewChannel(ChannelConfig{Profile: prof, Algorithm: alg,
+					Mode: sched.SMT, Tr: 600, Ts: 6000, Seed: s})
+				c.Run([]byte{1, 0}, true, samples, 1<<40)
+				return TableVIRow{prof, name, perfctr.Collect(c.Hier, core.ReqSender)}
+			})
 		}
 		// sender & gcc: the sender shares the core with a benign noisy
 		// workload instead of a receiver.
-		s := NewChannel(ChannelConfig{Profile: prof, Algorithm: Alg1SharedMemory,
-			Mode: sched.SMT, Tr: 600, Ts: 6000, Seed: seed,
-			NoiseThreads: 1, NoisePeriod: 300})
-		m := s.NewMachine()
-		s.WarmSender()
-		m.AddThread("sender", core.ReqSender, s.SenderProgram([]byte{1, 0}, true))
-		m.AddThread("gcc", core.ReqOther, s.NoiseProgram())
-		m.Run(3_000_000)
-		rows = append(rows, TableVIRow{prof, "sender & gcc", perfctr.Collect(s.Hier, core.ReqSender)})
+		add(fmt.Sprintf("tableVI/%s/sender&gcc", prof.Arch), func(s uint64) TableVIRow {
+			c := NewChannel(ChannelConfig{Profile: prof, Algorithm: Alg1SharedMemory,
+				Mode: sched.SMT, Tr: 600, Ts: 6000, Seed: s,
+				NoiseThreads: 1, NoisePeriod: 300})
+			m := c.NewMachine()
+			c.WarmSender()
+			m.AddThread("sender", core.ReqSender, c.SenderProgram([]byte{1, 0}, true))
+			m.AddThread("gcc", core.ReqOther, c.NoiseProgram())
+			m.Run(3_000_000)
+			return TableVIRow{prof, "sender & gcc", perfctr.Collect(c.Hier, core.ReqSender)}
+		})
 		// sender only.
-		s2 := NewChannel(ChannelConfig{Profile: prof, Algorithm: Alg1SharedMemory,
-			Mode: sched.SMT, Tr: 600, Ts: 6000, Seed: seed})
-		m2 := s2.NewMachine()
-		s2.WarmSender()
-		m2.AddThread("sender", core.ReqSender, s2.SenderProgram([]byte{1, 0}, true))
-		m2.Run(3_000_000)
-		rows = append(rows, TableVIRow{prof, "sender only", perfctr.Collect(s2.Hier, core.ReqSender)})
+		add(fmt.Sprintf("tableVI/%s/sender-only", prof.Arch), func(s uint64) TableVIRow {
+			c := NewChannel(ChannelConfig{Profile: prof, Algorithm: Alg1SharedMemory,
+				Mode: sched.SMT, Tr: 600, Ts: 6000, Seed: s})
+			m := c.NewMachine()
+			c.WarmSender()
+			m.AddThread("sender", core.ReqSender, c.SenderProgram([]byte{1, 0}, true))
+			m.Run(3_000_000)
+			return TableVIRow{prof, "sender only", perfctr.Collect(c.Hier, core.ReqSender)}
+		})
 	}
-	return rows
+	return engine.Values(engine.Run(jobs, opt))
 }
 
 // RenderTableVI formats Table VI.
@@ -242,28 +305,36 @@ type TableVIIRow struct {
 }
 
 // TableVII runs the Spectre attack with each disclosure primitive and
-// collects combined victim+attacker miss rates.
-func TableVII(secret []byte, seed uint64) []TableVIIRow {
+// collects combined victim+attacker miss rates — one job per
+// (profile, disclosure) cell.
+func TableVII(secret []byte, seed uint64, opt RunOptions) []TableVIIRow {
 	if len(secret) == 0 {
 		secret = EncodeString("MAGIC")
 	}
-	var rows []TableVIIRow
+	var jobs []engine.Job[TableVIIRow]
 	for _, prof := range []Profile{SandyBridge(), Skylake()} {
 		for _, d := range []spectre.Disclosure{spectre.FRMem, spectre.FRL1, spectre.LRUAlg1, spectre.LRUAlg2} {
-			cfg := SpectreConfig{Profile: prof, Disclosure: d, Seed: seed}
-			if d == spectre.FRMem {
-				cfg.Window = 300 // F+R needs the probe fill to complete
-			}
-			a := NewSpectre(cfg, secret)
-			acc := a.Accuracy()
-			rows = append(rows, TableVIIRow{
-				Profile: prof, Disclosure: d,
-				Report:   perfctr.CollectCombined(a.Hier, spectre.ReqVictim, spectre.ReqAttacker),
-				Accuracy: acc,
+			prof, d := prof, d
+			jobs = append(jobs, engine.Job[TableVIIRow]{
+				Name: fmt.Sprintf("tableVII/%s/%v", prof.Arch, d),
+				Seed: seed,
+				Run: func(s uint64) TableVIIRow {
+					cfg := SpectreConfig{Profile: prof, Disclosure: d, Seed: s}
+					if d == spectre.FRMem {
+						cfg.Window = 300 // F+R needs the probe fill to complete
+					}
+					a := NewSpectre(cfg, secret)
+					acc := a.Accuracy()
+					return TableVIIRow{
+						Profile: prof, Disclosure: d,
+						Report:   perfctr.CollectCombined(a.Hier, spectre.ReqVictim, spectre.ReqAttacker),
+						Accuracy: acc,
+					}
+				},
 			})
 		}
 	}
-	return rows
+	return engine.Values(engine.Run(jobs, opt))
 }
 
 // RenderTableVII formats Table VII (plus the recovery accuracy, which the
