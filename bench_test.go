@@ -11,6 +11,7 @@ package lruleak
 // session default.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -21,6 +22,8 @@ import (
 	"repro/internal/sched"
 	"repro/internal/spectre"
 	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/transport/codec"
 	"repro/internal/uarch"
 )
 
@@ -397,6 +400,47 @@ func BenchmarkMultiSetChannel(b *testing.B) {
 		acc += m.MeasureWordAccuracy([][]byte{{1, 0, 1, 0}, {0, 1, 1, 0}}, 100)
 	}
 	emitBench(b, map[string]float64{"per-bit-accuracy": acc / float64(b.N)})
+}
+
+// Streaming-transport goodput ablation: end-to-end payload transfer
+// (framing + ECC + lane striping) across codec × lanes × noise, at the
+// stream demo operating point. The headline metrics are delivered
+// goodput and residual frame-error rate — the transport-layer
+// restatement of Figure 4's capacity-vs-reliability trade.
+func BenchmarkStreamGoodput(b *testing.B) {
+	for _, cname := range codec.Names() {
+		for _, lanes := range []int{1, 4} {
+			for _, noise := range []int{0, 3} {
+				name := fmt.Sprintf("codec=%s/lanes=%d/noise=%d", cname, lanes, noise)
+				b.Run(name, func(b *testing.B) {
+					c, err := codec.ByName(cname)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var goodput, fer, byteErrs float64
+					for i := 0; i < b.N; i++ {
+						pt := transport.MeasureCapacity(transport.Config{
+							Channel: core.Config{
+								Algorithm: core.Alg1SharedMemory, Mode: sched.SMT,
+								Tr: 2000, Ts: 8000,
+								NoiseThreads: noise, NoisePeriod: 2000,
+							},
+							Lanes: transport.DefaultLanes(lanes),
+							Codec: c,
+						}, 64, uint64(i+1))
+						goodput += pt.GoodputBps
+						fer += pt.FrameErrorRate
+						byteErrs += float64(pt.ByteErrors)
+					}
+					emitBench(b, map[string]float64{
+						"goodput-kbps":     goodput / float64(b.N) / 1000,
+						"frame-error-rate": fer / float64(b.N),
+						"byte-errors":      byteErrs / float64(b.N),
+					})
+				})
+			}
+		}
+	}
 }
 
 // InvisiSpec mitigation (Section IX-B): recovery accuracy with and without.

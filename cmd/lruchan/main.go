@@ -14,6 +14,8 @@
 //	lruchan -fig 7  [-alg 1|2] [-samples 1400]
 //	lruchan -fig 8 | -fig 13 | -fig 14 | -fig 15
 //	lruchan -sweep [-bits N] [-repeats N]   (multi-profile × multi-policy grid)
+//	lruchan -stream [-payload 256] [-noise 3]   (streaming transport demo: codec comparison)
+//	lruchan -stream -sweep [-payload N] [-noise N]   (transport capacity grid: codec × lanes × noise)
 //
 // All forms accept -workers N (0 = all cores) and -progress.
 package main
@@ -24,6 +26,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -38,6 +41,9 @@ func main() {
 		seed     = flag.Uint64("seed", 2020, "experiment seed")
 		workers  = flag.Int("workers", 0, "parallel experiment workers (0 = all cores)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
+		stream   = flag.Bool("stream", false, "run the streaming-transport demo (with -sweep: the capacity grid)")
+		payload  = flag.Int("payload", 256, "stream demo payload bytes")
+		noise    = flag.Int("noise", 3, "stream demo noise threads")
 	)
 	flag.Parse()
 
@@ -54,6 +60,45 @@ func main() {
 	algorithm := lruleak.Alg1SharedMemory
 	if *alg == 2 {
 		algorithm = lruleak.Alg2NoSharedMemory
+	}
+
+	if *stream {
+		// The transport's operating point is tuned for Algorithm 1 on
+		// the default profile; reject every figure-only flag it would
+		// otherwise silently ignore.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "alg", "cpu", "fig", "samples", "bits", "repeats":
+				fmt.Fprintf(os.Stderr, "lruchan: -%s is not supported with -stream (the transport runs Algorithm 1 on the default profile)\n", f.Name)
+				os.Exit(2)
+			}
+		})
+		if max := transport.MaxPayloadBytes(0); *payload < 1 || *payload > max {
+			fmt.Fprintf(os.Stderr, "lruchan: -payload must be in [1, %d], got %d\n", max, *payload)
+			os.Exit(2)
+		}
+		if *noise < 0 {
+			fmt.Fprintf(os.Stderr, "lruchan: -noise must be >= 0, got %d\n", *noise)
+			os.Exit(2)
+		}
+		if *sweep {
+			spec := lruleak.StreamSpec{PayloadBytes: *payload}
+			// An explicit -noise narrows the grid's noise dimension to
+			// {0, noise} ({0} alone for -noise 0); unset, the spec
+			// default applies.
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "noise" {
+					spec.NoiseThreads = []int{0}
+					if *noise != 0 {
+						spec.NoiseThreads = append(spec.NoiseThreads, *noise)
+					}
+				}
+			})
+			fmt.Print(lruleak.RenderStreamSweep(lruleak.StreamSweep(spec, *seed, opt)))
+			return
+		}
+		fmt.Print(lruleak.RenderStreamDemo(lruleak.StreamDemo(*payload, *noise, *seed, opt)))
+		return
 	}
 
 	if *sweep {

@@ -8,6 +8,8 @@ package lruleak
 // Table I grid), kept only in this test file.
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -184,4 +186,83 @@ func TestDriversSerialParallelIdentical(t *testing.T) {
 			t.Error("sweep grid shape")
 		}
 	})
+}
+
+// --- golden pinning ---
+//
+// Beyond serial-vs-parallel equality, the perfctr tables (VI, VII), the
+// securesim defence-cost study (Figure 9) and the stream sweep are
+// pinned byte-for-byte at a fixed seed against files in testdata/. The
+// simulator is exactly reproducible from a seed, so these goldens are
+// machine-independent; a diff means an (intended or not) behaviour
+// change in the simulator, the drivers, or the renderers. Regenerate
+// with UPDATE_GOLDEN=1 go test -run Golden .
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file instead when UPDATE_GOLDEN is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s diverges from golden %s:\n--- got ---\n%s--- want ---\n%s",
+			name, path, got, want)
+	}
+}
+
+const goldenSeed = 7
+
+func TestTableVIGoldenPinned(t *testing.T) {
+	want := RenderTableVI(TableVI(50, goldenSeed, RunOptions{Workers: 1}))
+	checkGolden(t, "table6", want)
+	if got := RenderTableVI(TableVI(50, goldenSeed, RunOptions{Workers: 8})); got != want {
+		t.Error("Table VI diverges across worker counts")
+	}
+}
+
+func TestTableVIIGoldenPinned(t *testing.T) {
+	want := RenderTableVII(TableVII(EncodeString("AB"), goldenSeed, RunOptions{Workers: 1}))
+	checkGolden(t, "table7", want)
+	if got := RenderTableVII(TableVII(EncodeString("AB"), goldenSeed, RunOptions{Workers: 8})); got != want {
+		t.Error("Table VII diverges across worker counts")
+	}
+}
+
+func TestFigure9GoldenPinned(t *testing.T) {
+	want := RenderFigure9(Figure9(50_000, goldenSeed, RunOptions{Workers: 1}))
+	checkGolden(t, "figure9", want)
+	if got := RenderFigure9(Figure9(50_000, goldenSeed, RunOptions{Workers: 8})); got != want {
+		t.Error("Figure 9 diverges across worker counts")
+	}
+}
+
+// The stream sweep (the transport layer's capacity grid) must be
+// bit-identical across worker counts, like every other engine driver.
+func TestStreamSweepWorkersIdentical(t *testing.T) {
+	spec := StreamSpec{
+		Codecs:       []string{"none", "hamming74"},
+		LaneCounts:   []int{4},
+		NoiseThreads: []int{0, 3},
+		PayloadBytes: 48,
+	}
+	want := RenderStreamSweep(StreamSweep(spec, goldenSeed, RunOptions{Workers: 1}))
+	checkGolden(t, "streamsweep", want)
+	for _, workers := range []int{2, 8} {
+		got := RenderStreamSweep(StreamSweep(spec, goldenSeed, RunOptions{Workers: workers}))
+		if got != want {
+			t.Errorf("stream sweep at Workers=%d diverges from the serial run", workers)
+		}
+	}
 }

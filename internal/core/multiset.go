@@ -78,32 +78,39 @@ type MultiObservation struct {
 	Wall      uint64
 }
 
+// holdWord runs the sender's encode loop for one word until deadline:
+// every iteration touches the sender line of each 1-lane (cache hits
+// that push the lanes' replacement state) and burns the per-iteration
+// address-computation budget.
+func (m *MultiSetup) holdWord(e *sched.Env, word []byte, deadline uint64) {
+	period := m.Cfg.SenderPeriod
+	for e.Now() < deadline {
+		issued := false
+		for lane, bit := range word {
+			if lane >= len(m.senderLines) {
+				break
+			}
+			if bit != 0 {
+				e.Access(m.senderLines[lane])
+				issued = true
+			}
+		}
+		if !issued {
+			e.Busy(period)
+		} else {
+			e.Busy(period / 2)
+		}
+	}
+}
+
 // senderProgram transmits words (each word = Lanes() bits, one per set),
 // holding each word for Ts cycles.
 func (m *MultiSetup) senderProgram(words [][]byte, repeat bool) func(*sched.Env) {
 	ts := m.Cfg.Ts
-	period := m.Cfg.SenderPeriod
 	return func(e *sched.Env) {
 		for {
 			for _, word := range words {
-				deadline := e.Now() + ts
-				for e.Now() < deadline {
-					issued := false
-					for lane, bit := range word {
-						if lane >= len(m.senderLines) {
-							break
-						}
-						if bit != 0 {
-							e.Access(m.senderLines[lane])
-							issued = true
-						}
-					}
-					if !issued {
-						e.Busy(period)
-					} else {
-						e.Busy(period / 2)
-					}
-				}
+				m.holdWord(e, word, e.Now()+ts)
 			}
 			if !repeat {
 				return
@@ -164,6 +171,42 @@ func (m *MultiSetup) Run(words [][]byte, repeat bool, maxSamples int, wallLimit 
 	}
 	mach.AddThread("sender", ReqSender, m.senderProgram(words, repeat))
 	mach.AddThread("receiver", ReqReceiver, m.receiverProgram(&obs, maxSamples))
+	mach.Run(wallLimit)
+	return obs
+}
+
+// scheduleSenderProgram transmits word j during wall ∈ [j·Ts, (j+1)·Ts)
+// on an absolute symbol schedule, then returns. Unlike senderProgram,
+// whose per-word deadlines are relative (deadline = now + Ts, so each
+// word's encode-loop overshoot accumulates), the absolute schedule
+// never drifts: after hundreds of symbols, word j still sits exactly in
+// its slot. Streaming transports that index symbols by wall time
+// (internal/transport) depend on this.
+func (m *MultiSetup) scheduleSenderProgram(words [][]byte) func(*sched.Env) {
+	ts := m.Cfg.Ts
+	return func(e *sched.Env) {
+		for j, word := range words {
+			m.holdWord(e, word, uint64(j+1)*ts)
+		}
+	}
+}
+
+// RunSchedule transmits words on the absolute symbol schedule (word j
+// held during wall ∈ [j·Ts, (j+1)·Ts)) and collects receiver sweeps
+// until wallLimit. Unlike Run it also starts the config's NoiseThreads
+// background processes, so noisy operating points can be measured on
+// the parallel channel too.
+func (m *MultiSetup) RunSchedule(words [][]byte, wallLimit uint64) []MultiObservation {
+	mach := m.NewMachine()
+	var obs []MultiObservation
+	for _, l := range m.senderLines {
+		m.Hier.Warm(l, ReqSender)
+	}
+	mach.AddThread("sender", ReqSender, m.scheduleSenderProgram(words))
+	mach.AddThread("receiver", ReqReceiver, m.receiverProgram(&obs, 0))
+	for i := 0; i < m.Cfg.NoiseThreads; i++ {
+		mach.AddThread("noise", ReqOther, m.NoiseProgram())
+	}
 	mach.Run(wallLimit)
 	return obs
 }

@@ -1,0 +1,45 @@
+package engine
+
+import "testing"
+
+// The determinism contract rests on Seeds being position-based: the
+// seed of job i must not depend on how many jobs the driver asked for.
+// Otherwise growing a grid (or chunking it differently) would silently
+// reseed every cell.
+func TestSeedsPrefixStability(t *testing.T) {
+	for _, root := range []uint64{0, 1, 42, 0x5eed, ^uint64(0)} {
+		full := Seeds(root, 100)
+		for _, k := range []int{0, 1, 7, 50, 100} {
+			prefix := Seeds(root, k)
+			if len(prefix) != k {
+				t.Fatalf("root %d: Seeds(%d) has length %d", root, k, len(prefix))
+			}
+			for i := range prefix {
+				if prefix[i] != full[i] {
+					t.Fatalf("root %d: Seeds(%d)[%d] = %d, but Seeds(100)[%d] = %d",
+						root, k, i, prefix[i], i, full[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSeedsNeverZero(t *testing.T) {
+	for _, root := range []uint64{0, 1, 99, 2020} {
+		for i, s := range Seeds(root, 10_000) {
+			if s == 0 {
+				t.Fatalf("root %d: seed %d is zero (means 'use default' downstream)", root, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDistinctAcrossPositions(t *testing.T) {
+	seen := map[uint64]int{}
+	for i, s := range Seeds(7, 10_000) {
+		if j, dup := seen[s]; dup {
+			t.Fatalf("seed at position %d duplicates position %d", i, j)
+		}
+		seen[s] = i
+	}
+}

@@ -1,0 +1,170 @@
+package replacement
+
+// Fuzz harness for the replacement policies, in the spirit of Cañones
+// et al., "Security Analysis of Cache Replacement Policies": every
+// policy must uphold its structural invariants on arbitrary access
+// traces, and true LRU must agree with an obviously-correct reference
+// model (a recency list). The trace grammar mirrors how internal/cache
+// drives a policy: a hit calls OnAccess(way); a fill consults Victim,
+// then calls OnAccess(victim) and, for FIFO, Filled(victim).
+//
+// Run with: go test -fuzz=Fuzz -fuzztime=10s ./internal/replacement
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refLRU is the naive reference model: an explicit recency-ordered list
+// of ways, most recent first.
+type refLRU struct {
+	order []int
+}
+
+func newRefLRU(ways int) *refLRU {
+	r := &refLRU{order: make([]int, ways)}
+	// Match trueLRU's power-on convention: way 0 oldest.
+	for i := range r.order {
+		r.order[i] = ways - 1 - i
+	}
+	return r
+}
+
+func (r *refLRU) access(way int) {
+	for i, w := range r.order {
+		if w == way {
+			copy(r.order[1:i+1], r.order[:i])
+			r.order[0] = way
+			return
+		}
+	}
+}
+
+func (r *refLRU) victim() int { return r.order[len(r.order)-1] }
+
+func FuzzPolicyInvariants(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 1, 2, 3, 4, 5, 6, 7, 0x80})
+	f.Add([]byte{2, 0xff, 0x80, 0x81, 3, 3, 3, 0x90, 12, 7})
+	f.Fuzz(func(t *testing.T, trace []byte) {
+		if len(trace) == 0 {
+			return
+		}
+		// Byte 0 picks the associativity (4, 8 or 16 — power of two for
+		// Tree-PLRU); each following byte is one event: low bits the
+		// way for a hit, high bit set turns it into a fill of the
+		// current victim.
+		ways := 1 << (2 + int(trace[0])%3)
+		r := rng.New(uint64(len(trace)))
+		pols := []Policy{
+			New(TrueLRU, ways, nil),
+			New(TreePLRU, ways, nil),
+			New(BitPLRU, ways, nil),
+			New(FIFO, ways, nil),
+			New(Random, ways, r),
+		}
+		ref := newRefLRU(ways)
+
+		for step, b := range trace[1:] {
+			fill := b&0x80 != 0
+			way := int(b&0x7f) % ways
+			for _, p := range pols {
+				deterministic := p.Name() != "Random"
+				if fill {
+					// A miss: the cache evicts the policy's victim and
+					// installs the new line there, recording the use.
+					v := p.Victim()
+					if v < 0 || v >= ways {
+						t.Fatalf("step %d: %s victim %d out of [0,%d)", step, p.Name(), v, ways)
+					}
+					if deterministic && p.Victim() != v {
+						t.Fatalf("step %d: %s Victim() mutated state", step, p.Name())
+					}
+					p.OnAccess(v)
+					if fi, ok := p.(interface{ Filled(way int) }); ok {
+						fi.Filled(v)
+					}
+					if p.Name() == "LRU" {
+						ref.access(v)
+					}
+				} else {
+					p.OnAccess(way)
+					if p.Name() == "LRU" {
+						ref.access(way)
+					}
+				}
+				v := p.Victim()
+				if v < 0 || v >= ways {
+					t.Fatalf("step %d: %s victim %d out of [0,%d)", step, p.Name(), v, ways)
+				}
+				if deterministic {
+					before := p.StateString()
+					p.Victim()
+					if after := p.StateString(); after != before {
+						t.Fatalf("step %d: %s Victim() changed state %q -> %q",
+							step, p.Name(), before, after)
+					}
+				}
+			}
+
+			// True LRU: a touched way is never the next victim (with
+			// more than one way), and the reference model agrees
+			// exactly.
+			lru, tree, bit := pols[0].(*trueLRU), pols[1].(*treePLRU), pols[2].(*bitPLRU)
+			touched := way
+			if fill {
+				// The fill touched the reference's most recent way.
+				touched = ref.order[0]
+			}
+			if ways > 1 && lru.Victim() == touched {
+				t.Fatalf("step %d: true LRU evicts the just-touched way %d", step, touched)
+			}
+			if got, want := lru.Victim(), ref.victim(); got != want {
+				t.Fatalf("step %d: true LRU victim %d, reference model says %d (state %s)",
+					step, got, want, lru.StateString())
+			}
+
+			// Tree-PLRU: ways-1 node bits, each 0 or 1.
+			if len(tree.bits) != ways-1 {
+				t.Fatalf("step %d: tree has %d bits for %d ways", step, len(tree.bits), ways)
+			}
+			for i, bv := range tree.bits {
+				if bv > 1 {
+					t.Fatalf("step %d: tree bit %d = %d", step, i, bv)
+				}
+			}
+
+			// Bit-PLRU: one MRU bit per way, never all set (the
+			// rollover clears them), so a victim always exists.
+			if len(bit.mru) != ways {
+				t.Fatalf("step %d: bitPLRU has %d bits for %d ways", step, len(bit.mru), ways)
+			}
+			all := true
+			for i, bv := range bit.mru {
+				if bv > 1 {
+					t.Fatalf("step %d: mru bit %d = %d", step, i, bv)
+				}
+				if bv == 0 {
+					all = false
+				}
+			}
+			if all {
+				t.Fatalf("step %d: bitPLRU all MRU bits set (no victim)", step)
+			}
+
+			// Clones must be independent: mutating the clone leaves
+			// the original's state untouched.
+			if step == 0 {
+				for _, p := range pols[:3] {
+					before := p.StateString()
+					c := p.Clone()
+					c.OnAccess((way + 1) % ways)
+					if p.StateString() != before {
+						t.Fatalf("%s: Clone shares state", p.Name())
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package stats
+
+// Property tests for the edit-distance metric: Levenshtein distance is
+// a metric on strings, so it must be symmetric, satisfy the triangle
+// inequality, and vanish exactly on identical inputs. The decoding
+// pipeline (BestAlignmentErrorRate) silently depends on all three.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomBits(r *rng.Rand, maxLen int) []byte {
+	return r.Bits(r.Intn(maxLen + 1))
+}
+
+func TestEditDistanceIdentity(t *testing.T) {
+	r := rng.New(101)
+	for i := 0; i < 200; i++ {
+		a := randomBits(r, 16)
+		if d := EditDistance(a, a); d != 0 {
+			t.Fatalf("EditDistance(a, a) = %d for %v", d, a)
+		}
+	}
+}
+
+func TestEditDistanceSymmetry(t *testing.T) {
+	r := rng.New(102)
+	for i := 0; i < 500; i++ {
+		a, b := randomBits(r, 12), randomBits(r, 12)
+		ab, ba := EditDistance(a, b), EditDistance(b, a)
+		if ab != ba {
+			t.Fatalf("EditDistance(%v, %v) = %d but reversed = %d", a, b, ab, ba)
+		}
+	}
+}
+
+func TestEditDistanceTriangleInequality(t *testing.T) {
+	r := rng.New(103)
+	for i := 0; i < 500; i++ {
+		a, b, c := randomBits(r, 10), randomBits(r, 10), randomBits(r, 10)
+		ac := EditDistance(a, c)
+		ab := EditDistance(a, b)
+		bc := EditDistance(b, c)
+		if ac > ab+bc {
+			t.Fatalf("triangle violated: d(%v,%v)=%d > d(.,%v)+d(%v,.)=%d+%d",
+				a, c, ac, b, b, ab, bc)
+		}
+	}
+}
+
+// The distance is bounded by the length of the longer string (delete
+// everything, insert everything better is never needed), and a
+// length difference alone forces at least that many edits.
+func TestEditDistanceBounds(t *testing.T) {
+	r := rng.New(104)
+	for i := 0; i < 500; i++ {
+		a, b := randomBits(r, 14), randomBits(r, 14)
+		d := EditDistance(a, b)
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		if d < lo || d > hi {
+			t.Fatalf("EditDistance(%v, %v) = %d outside [%d, %d]", a, b, d, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package codec provides the error-correcting codes of the streaming
+// covert-channel transport (internal/transport). A Codec maps payload
+// bits to channel bits and back; the channel-facing representation is
+// the repository's bit-slice convention (one bit per byte, each 0 or 1),
+// so coded output plugs straight into the multi-set sender words and the
+// per-sweep decode of internal/core.
+//
+// Three codes are implemented:
+//
+//   - Identity — the no-ECC baseline; what the paper's raw channel is.
+//   - Repetition(k) — each bit sent k times, majority-decoded. The
+//     simplest capacity-for-reliability trade (rate 1/k).
+//   - Hamming(7,4) — four data bits per seven channel bits with
+//     single-bit error correction per block (rate 4/7), the classic
+//     choice for the low-error-rate operating points of Figure 4.
+package codec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Codec maps data bits to channel bits and back. Implementations must be
+// deterministic and stateless: Encode and Decode may be called from
+// concurrent engine jobs.
+type Codec interface {
+	// Name identifies the codec in sweep grids and bench output.
+	Name() string
+	// Rate is the information rate: data bits per channel bit (<= 1).
+	Rate() float64
+	// EncodedLen returns the channel-bit count for n data bits.
+	EncodedLen(n int) int
+	// Encode maps data bits (one per byte, 0 or 1) to channel bits.
+	Encode(data []byte) []byte
+	// Decode maps channel bits back to data bits, correcting what the
+	// code can correct. len(coded) must be EncodedLen(n) for some n;
+	// trailing bits short of a code block are dropped.
+	Decode(coded []byte) []byte
+}
+
+// Identity is the no-ECC baseline: channel bits are the data bits.
+type Identity struct{}
+
+// Name implements Codec.
+func (Identity) Name() string { return "none" }
+
+// Rate implements Codec.
+func (Identity) Rate() float64 { return 1 }
+
+// EncodedLen implements Codec.
+func (Identity) EncodedLen(n int) int { return n }
+
+// Encode implements Codec.
+func (Identity) Encode(data []byte) []byte {
+	return append([]byte(nil), data...)
+}
+
+// Decode implements Codec.
+func (Identity) Decode(coded []byte) []byte {
+	return append([]byte(nil), coded...)
+}
+
+// Repetition sends every data bit K times and decodes by majority vote,
+// correcting up to floor((K-1)/2) channel-bit errors per data bit. For
+// even K, ties resolve to 0: the LRU channel's dominant error mode is a
+// spurious fast read decoding as 1 (replacement-state drift), so the
+// tie bias must point the other way.
+type Repetition struct{ K int }
+
+// Name implements Codec.
+func (r Repetition) Name() string { return fmt.Sprintf("rep%d", r.k()) }
+
+func (r Repetition) k() int {
+	if r.K < 1 {
+		return 3
+	}
+	return r.K
+}
+
+// Rate implements Codec.
+func (r Repetition) Rate() float64 { return 1 / float64(r.k()) }
+
+// EncodedLen implements Codec.
+func (r Repetition) EncodedLen(n int) int { return n * r.k() }
+
+// Encode implements Codec.
+func (r Repetition) Encode(data []byte) []byte {
+	k := r.k()
+	out := make([]byte, 0, len(data)*k)
+	for _, b := range data {
+		for i := 0; i < k; i++ {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (r Repetition) Decode(coded []byte) []byte {
+	k := r.k()
+	out := make([]byte, 0, len(coded)/k)
+	for i := 0; i+k <= len(coded); i += k {
+		ones := 0
+		for _, b := range coded[i : i+k] {
+			ones += int(b)
+		}
+		if 2*ones > k {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// ByName constructs a codec from its sweep-grid name: "none" (or
+// "identity"), "repK" for any K >= 1 (e.g. "rep3"), or "hamming74"
+// (or "hamming").
+func ByName(name string) (Codec, error) {
+	switch n := strings.ToLower(strings.TrimSpace(name)); {
+	case n == "none" || n == "identity":
+		return Identity{}, nil
+	case n == "hamming74" || n == "hamming":
+		return Hamming74{}, nil
+	case strings.HasPrefix(n, "rep"):
+		k, err := strconv.Atoi(n[len("rep"):])
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("codec: bad repetition factor in %q", name)
+		}
+		return Repetition{K: k}, nil
+	default:
+		return nil, fmt.Errorf("codec: unknown codec %q", name)
+	}
+}
+
+// Names lists the default codec family, in sweep presentation order.
+func Names() []string { return []string{"none", "rep3", "hamming74"} }

@@ -1,0 +1,122 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func all() []Codec {
+	return []Codec{Identity{}, Repetition{K: 3}, Repetition{K: 5}, Hamming74{}}
+}
+
+func TestRoundTripClean(t *testing.T) {
+	r := rng.New(11)
+	for _, c := range all() {
+		for _, n := range []int{0, 4, 8, 64, 288} {
+			data := r.Bits(n)
+			coded := c.Encode(data)
+			if len(coded) != c.EncodedLen(n) {
+				t.Fatalf("%s: EncodedLen(%d)=%d but Encode produced %d bits",
+					c.Name(), n, c.EncodedLen(n), len(coded))
+			}
+			got := c.Decode(coded)
+			if len(got) != n {
+				t.Fatalf("%s: decoded %d bits, want %d", c.Name(), len(got), n)
+			}
+			for i := range data {
+				if got[i] != data[i] {
+					t.Fatalf("%s: bit %d corrupted on a clean channel", c.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+// Hamming(7,4) and repetition-3 must correct any single flipped channel
+// bit per code block; repetition-5 any two.
+func TestSingleErrorCorrection(t *testing.T) {
+	r := rng.New(12)
+	cases := []struct {
+		c       Codec
+		block   int
+		correct int
+	}{
+		{Repetition{K: 3}, 3, 1},
+		{Repetition{K: 5}, 5, 2},
+		{Hamming74{}, 7, 1},
+	}
+	for _, tc := range cases {
+		data := r.Bits(32)
+		coded := tc.c.Encode(data)
+		for pos := 0; pos < len(coded); pos++ {
+			corr := append([]byte(nil), coded...)
+			corr[pos] ^= 1
+			// Also flip correct-1 extra bits in other blocks to show
+			// independence across blocks.
+			got := tc.c.Decode(corr)
+			for i := range data {
+				if got[i] != data[i] {
+					t.Fatalf("%s: single flip at %d not corrected (data bit %d)",
+						tc.c.Name(), pos, i)
+				}
+			}
+		}
+		// Multi-flip within correction budget, all in one block.
+		if tc.correct > 1 {
+			corr := append([]byte(nil), coded...)
+			corr[0] ^= 1
+			corr[1] ^= 1
+			got := tc.c.Decode(corr)
+			for i := range data {
+				if got[i] != data[i] {
+					t.Fatalf("%s: %d flips in one block not corrected", tc.c.Name(), tc.correct)
+				}
+			}
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	if (Identity{}).Rate() != 1 {
+		t.Error("identity rate")
+	}
+	if r := (Repetition{K: 3}).Rate(); r != 1.0/3 {
+		t.Errorf("rep3 rate %v", r)
+	}
+	if r := (Hamming74{}).Rate(); r != 4.0/7 {
+		t.Errorf("hamming rate %v", r)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if c, err := ByName("identity"); err != nil || c.Name() != "none" {
+		t.Errorf("identity alias: %v %v", c, err)
+	}
+	if c, err := ByName("rep7"); err != nil || c.(Repetition).K != 7 {
+		t.Errorf("rep7: %v %v", c, err)
+	}
+	for _, bad := range []string{"", "rep0", "repx", "turbo"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) accepted", bad)
+		}
+	}
+}
+
+// The default Repetition (zero K) falls back to k=3 rather than
+// dividing by zero.
+func TestRepetitionZeroValue(t *testing.T) {
+	var r Repetition
+	if r.Name() != "rep3" || r.EncodedLen(4) != 12 {
+		t.Errorf("zero-value repetition: %s len %d", r.Name(), r.EncodedLen(4))
+	}
+}

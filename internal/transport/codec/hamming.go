@@ -1,0 +1,55 @@
+package codec
+
+// Hamming74 is the Hamming(7,4) block code: four data bits d1..d4 become
+// the seven channel bits p1 p2 d1 p3 d2 d3 d4 (parity bits at the
+// power-of-two positions 1, 2 and 4). The three syndrome bits read out
+// the position of any single flipped bit, so every 7-bit block corrects
+// one channel-bit error. Data lengths that are not a multiple of four
+// are zero-padded on encode; Decode returns the padded length (the
+// transport's frame sizes are byte multiples, so padding never occurs
+// on the wire).
+type Hamming74 struct{}
+
+// Name implements Codec.
+func (Hamming74) Name() string { return "hamming74" }
+
+// Rate implements Codec.
+func (Hamming74) Rate() float64 { return 4.0 / 7.0 }
+
+// EncodedLen implements Codec.
+func (Hamming74) EncodedLen(n int) int { return (n + 3) / 4 * 7 }
+
+// Encode implements Codec.
+func (Hamming74) Encode(data []byte) []byte {
+	out := make([]byte, 0, Hamming74{}.EncodedLen(len(data)))
+	for i := 0; i < len(data); i += 4 {
+		var d [4]byte
+		copy(d[:], data[i:min(i+4, len(data))])
+		p1 := d[0] ^ d[1] ^ d[3]
+		p2 := d[0] ^ d[2] ^ d[3]
+		p3 := d[1] ^ d[2] ^ d[3]
+		out = append(out, p1, p2, d[0], p3, d[1], d[2], d[3])
+	}
+	return out
+}
+
+// Decode implements Codec. Each 7-bit block has its syndrome computed
+// and, when non-zero, the indicated bit flipped before the data bits
+// are extracted.
+func (Hamming74) Decode(coded []byte) []byte {
+	out := make([]byte, 0, len(coded)/7*4)
+	for i := 0; i+7 <= len(coded); i += 7 {
+		var c [7]byte
+		copy(c[:], coded[i:i+7])
+		// Syndrome bit k covers the positions whose index (1-based)
+		// has bit k set; together they spell the error position.
+		s1 := c[0] ^ c[2] ^ c[4] ^ c[6]
+		s2 := c[1] ^ c[2] ^ c[5] ^ c[6]
+		s3 := c[3] ^ c[4] ^ c[5] ^ c[6]
+		if syndrome := int(s1) | int(s2)<<1 | int(s3)<<2; syndrome != 0 {
+			c[syndrome-1] ^= 1
+		}
+		out = append(out, c[2], c[4], c[5], c[6])
+	}
+	return out
+}

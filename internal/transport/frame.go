@@ -1,0 +1,235 @@
+// Package transport is the streaming layer on top of the LRU covert
+// channel: it turns arbitrary []byte payloads into framed, error-coded
+// bit streams striped across multi-set channel lanes, and recovers them
+// from the receiver's raw latency sweeps.
+//
+// The paper's channel (Algorithm 3) moves loose bits; Section VII's
+// headline transfer rates implicitly assume a byte transport on top.
+// This package supplies it:
+//
+//	payload -> frames -> ECC (codec) -> lane striping -> MultiSetup
+//	sweeps  -> per-symbol majority vote -> de-striping -> sync hunt
+//	        -> ECC decode -> CRC check -> reassembly
+//
+// Wire format of one frame (bit-level, MSB first within bytes):
+//
+//	+------------+-----------------------------------------------+
+//	| SYNC 16b   |  codec.Encode( seq | len | payload | CRC-16 )  |
+//	| (uncoded)  |   1B    1B     F bytes      2B                 |
+//	+------------+-----------------------------------------------+
+//
+// The sync word is sent uncoded so the receiver can locate frames
+// before it can decode them; it is matched with a 1-bit tolerance, and
+// false matches are rejected by the CRC. Every frame carries exactly F
+// payload bytes on the wire (the last frame zero-padded, its true
+// length in the len field), so frames have a constant wire size and the
+// scanner can skip a whole frame after each accepted one.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/transport/codec"
+)
+
+// SyncBits is the length of the uncoded frame preamble.
+const SyncBits = 16
+
+// syncWord is the 16-bit frame preamble (0x1ACF, the head of the CCSDS
+// attached sync marker), chosen for its low shifted self-similarity.
+var syncWord = [SyncBits]byte{0, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 1, 1, 1, 1}
+
+// syncTolerance is the number of sync-word bit mismatches the scanner
+// accepts: one flipped preamble bit must not cost a whole frame, and
+// the CRC rejects the false positives the slack admits.
+const syncTolerance = 1
+
+// frameOverhead is the non-payload byte count inside the coded region:
+// sequence number, length, and the CRC-16.
+const frameOverhead = 4
+
+// maxFrames is the sequence-number space (one byte).
+const maxFrames = 256
+
+// MaxPayloadBytes returns the largest payload a single Send can carry
+// at the given frame size (the sequence-number space times the payload
+// bytes per frame); framePayload <= 0 selects the config default.
+func MaxPayloadBytes(framePayload int) int {
+	if framePayload <= 0 {
+		framePayload = DefaultFramePayload
+	}
+	return maxFrames * framePayload
+}
+
+// WireBits returns the on-air bit count of one frame carrying
+// framePayload payload bytes under the given codec.
+func WireBits(framePayload int, c codec.Codec) int {
+	return SyncBits + c.EncodedLen(8*(framePayload+frameOverhead))
+}
+
+// EncodeFrames splits payload into ceil(len/framePayload) frames and
+// returns the concatenated wire bits of all frames. It panics if the
+// payload needs more than 256 frames (the sequence-number space) —
+// callers stream larger transfers as multiple sends.
+func EncodeFrames(payload []byte, framePayload int, c codec.Codec) []byte {
+	if framePayload < 1 {
+		panic("transport: framePayload must be >= 1")
+	}
+	frames := (len(payload) + framePayload - 1) / framePayload
+	if frames == 0 {
+		frames = 1
+	}
+	if frames > maxFrames {
+		panic(fmt.Sprintf("transport: payload of %d bytes needs %d frames; max %d at %d bytes/frame",
+			len(payload), frames, maxFrames, framePayload))
+	}
+	out := make([]byte, 0, frames*WireBits(framePayload, c))
+	buf := make([]byte, framePayload+frameOverhead)
+	for seq := 0; seq < frames; seq++ {
+		chunk := payload[seq*framePayload:]
+		if len(chunk) > framePayload {
+			chunk = chunk[:framePayload]
+		}
+		buf[0] = byte(seq)
+		buf[1] = byte(len(chunk))
+		copy(buf[2:], chunk)
+		for i := 2 + len(chunk); i < 2+framePayload; i++ {
+			buf[i] = 0
+		}
+		crc := crc16(buf[:2+framePayload])
+		buf[2+framePayload] = byte(crc >> 8)
+		buf[3+framePayload] = byte(crc)
+		out = append(out, syncWord[:]...)
+		out = append(out, c.Encode(bytesToBits(buf))...)
+	}
+	return out
+}
+
+// RxFrame is one CRC-valid received frame.
+type RxFrame struct {
+	Seq int
+	// Payload is trimmed to the frame's advertised length.
+	Payload []byte
+}
+
+// ScanResult is the outcome of scanning a received bit stream.
+type ScanResult struct {
+	// Frames are the CRC-valid frames in detection order.
+	Frames []RxFrame
+	// SyncHits counts sync-word matches, including false ones.
+	SyncHits int
+	// CRCFailures counts sync matches whose frame failed the CRC
+	// (corrupted frames and false syncs alike).
+	CRCFailures int
+}
+
+// ScanFrames hunts for frames in a received bit stream: at each offset
+// it matches the sync word within syncTolerance, decodes the fixed-size
+// coded region, and accepts the frame if the CRC passes. On a CRC
+// failure the scan advances one bit (a false sync must not shadow a
+// real frame start); after an accepted frame it skips the whole frame.
+func ScanFrames(bits []byte, framePayload int, c codec.Codec) ScanResult {
+	var res ScanResult
+	wire := WireBits(framePayload, c)
+	for p := 0; p+wire <= len(bits); {
+		if !syncMatch(bits[p : p+SyncBits]) {
+			p++
+			continue
+		}
+		res.SyncHits++
+		data := bitsToBytes(c.Decode(bits[p+SyncBits : p+wire]))
+		if len(data) < framePayload+frameOverhead {
+			// A codec returning short blocks cannot carry this frame.
+			p++
+			continue
+		}
+		want := uint16(data[2+framePayload])<<8 | uint16(data[3+framePayload])
+		n := int(data[1])
+		if crc16(data[:2+framePayload]) != want || n > framePayload {
+			res.CRCFailures++
+			p++
+			continue
+		}
+		res.Frames = append(res.Frames, RxFrame{
+			Seq:     int(data[0]),
+			Payload: append([]byte(nil), data[2:2+n]...),
+		})
+		p += wire
+	}
+	return res
+}
+
+// syncMatch reports whether the 16 bits at the window match the sync
+// word within the scanner's tolerance.
+func syncMatch(window []byte) bool {
+	miss := 0
+	for i, want := range syncWord {
+		if window[i] != want {
+			miss++
+			if miss > syncTolerance {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reassemble orders CRC-valid frames by sequence number into a payload
+// of total bytes (the sender-side length, which the experiment knows).
+// Bytes of missing frames stay zero; duplicate sequence numbers keep
+// the first copy.
+func Reassemble(frames []RxFrame, framePayload, total int) []byte {
+	out := make([]byte, total)
+	seen := make(map[int]bool, len(frames))
+	for _, f := range frames {
+		if seen[f.Seq] || f.Seq*framePayload >= total {
+			continue
+		}
+		seen[f.Seq] = true
+		copy(out[f.Seq*framePayload:], f.Payload)
+	}
+	return out
+}
+
+// crc16 is CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), the frame
+// checksum.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// bytesToBits expands bytes into the repository's bit-slice convention,
+// most significant bit first.
+func bytesToBits(bs []byte) []byte {
+	out := make([]byte, 0, 8*len(bs))
+	for _, b := range bs {
+		for i := 7; i >= 0; i-- {
+			out = append(out, (b>>i)&1)
+		}
+	}
+	return out
+}
+
+// bitsToBytes packs bits (one per byte, MSB first) back into bytes;
+// trailing bits short of a full byte are dropped.
+func bitsToBytes(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)/8)
+	for i := 0; i+8 <= len(bits); i += 8 {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b = b<<1 | bits[i+j]&1
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -37,6 +37,8 @@ import (
 	"repro/internal/replacement"
 	"repro/internal/sched"
 	"repro/internal/spectre"
+	"repro/internal/transport"
+	"repro/internal/transport/codec"
 	"repro/internal/uarch"
 )
 
@@ -73,7 +75,23 @@ type (
 	RunOptions = engine.Options
 	// JobEvent is one progress notification from a running driver.
 	JobEvent = engine.Event
+	// StreamConfig parameterizes the streaming covert-channel transport
+	// (framing, ECC, lane striping) over the LRU channel.
+	StreamConfig = transport.Config
+	// Stream is an instantiated covert-channel transport.
+	Stream = transport.Stream
+	// StreamPoint is one end-to-end goodput/frame-error measurement.
+	StreamPoint = transport.CapacityPoint
+	// StreamCodec is the transport's pluggable error-correcting code.
+	StreamCodec = codec.Codec
 )
+
+// NewStream builds a streaming transport over a fresh multi-set LRU
+// channel.
+func NewStream(cfg StreamConfig) *Stream { return transport.New(cfg) }
+
+// StreamCodecByName resolves "none", "repK" or "hamming74" to a codec.
+func StreamCodecByName(name string) (StreamCodec, error) { return codec.ByName(name) }
 
 // DefaultWorkers is the worker-pool size drivers use when
 // RunOptions.Workers is 0: $LRULEAK_WORKERS if set, else GOMAXPROCS.
