@@ -1,0 +1,96 @@
+package lruleak
+
+// The secret-recovery defense matrix is pinned byte-for-byte at a fixed
+// seed, matching the PR 2 pinning scheme (see determinism_test.go):
+// the simulator is exactly reproducible from a seed, so the golden is
+// machine-independent and regenerable with UPDATE_GOLDEN=1. The pinned
+// table is also asserted semantically: it must SHOW the acceptance
+// property — full recovery on the unprotected cache, chance under DAWG.
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+)
+
+// attackGoldenSpec keeps the pinned matrix small enough for CI: one
+// victim, the headline policy, every defense.
+func attackGoldenSpec() AttackSpec {
+	return AttackSpec{
+		Victims:  []string{"ttable"},
+		Policies: []ReplacementKind{TreePLRU},
+		Symbols:  6,
+	}
+}
+
+func TestAttackSweepGoldenPinned(t *testing.T) {
+	cells := AttackSweep(attackGoldenSpec(), goldenSeed, RunOptions{Workers: 1})
+	want := RenderAttackSweep(cells)
+	checkGolden(t, "attacksweep", want)
+
+	for _, workers := range []int{2, 8} {
+		got := RenderAttackSweep(AttackSweep(attackGoldenSpec(), goldenSeed, RunOptions{Workers: workers}))
+		if got != want {
+			t.Errorf("attack sweep at Workers=%d diverges from the serial run", workers)
+		}
+	}
+
+	// The pinned table must exhibit the acceptance property.
+	byDefense := map[AttackDefense]AttackCell{}
+	for _, c := range cells {
+		byDefense[c.Defense] = c
+	}
+	if base := byDefense[attack.DefenseNone]; base.Recovery.Mean != 1.0 {
+		t.Errorf("baseline Tree-PLRU recovery %.2f, want 1.0", base.Recovery.Mean)
+	}
+	if base := byDefense[attack.DefenseNone]; base.AttackerFlagged != 1.0 || base.VictimFlagged != 0.0 {
+		t.Errorf("baseline detection: attacker %.1f / victim %.1f, want flagged / clean",
+			base.AttackerFlagged, base.VictimFlagged)
+	}
+	if dawg := byDefense[attack.DefenseDAWG]; dawg.Recovery.Mean > 0.3 {
+		t.Errorf("DAWG recovery %.2f, want chance level", dawg.Recovery.Mean)
+	}
+}
+
+// The full matrix (all victims × policies × defenses) must keep its
+// grid shape and stay worker-invariant; its contents are exercised by
+// internal/attack's tests, so one small-symbol pass suffices here.
+func TestAttackSweepGridShape(t *testing.T) {
+	spec := AttackSpec{Symbols: 2, Votes: 2, ProfilingRounds: 2}
+	cells := AttackSweep(spec, 5, RunOptions{})
+	want := 3 * 3 * 5 // victims × policies × defenses
+	if len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		key := c.Victim + "/" + c.Policy.String() + "/" + c.Defense.String()
+		if seen[key] {
+			t.Errorf("duplicate cell %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+// Trials must aggregate: a 2-trial cell reports N == 2 and a flagged
+// fraction in [0, 1].
+func TestAttackSweepTrialsAggregate(t *testing.T) {
+	spec := AttackSpec{
+		Victims:  []string{"sqmul"},
+		Policies: []ReplacementKind{TreePLRU},
+		Defenses: []AttackDefense{attack.DefenseNone},
+		Symbols:  4, Votes: 2, ProfilingRounds: 4,
+		Trials: 2,
+	}
+	cells := AttackSweep(spec, 11, RunOptions{})
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	c := cells[0]
+	if c.Recovery.N != 2 {
+		t.Errorf("recovery summary over %d trials, want 2", c.Recovery.N)
+	}
+	if c.AttackerFlagged < 0 || c.AttackerFlagged > 1 || c.VictimFlagged < 0 || c.VictimFlagged > 1 {
+		t.Errorf("flagged fractions out of range: %v %v", c.AttackerFlagged, c.VictimFlagged)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/perf"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/transport"
 	"repro/internal/transport/codec"
 	"repro/internal/uarch"
+	"repro/internal/victim"
 )
 
 func BenchmarkTableI(b *testing.B) {
@@ -461,6 +463,45 @@ func BenchmarkAblationInvisiSpec(b *testing.B) {
 			}
 			emitBench(b, map[string]float64{"recovery-accuracy": acc / float64(b.N)})
 		})
+	}
+}
+
+// Key-recovery ablation (victim × defense): the secret-recovery
+// subsystem end to end — template profiling, recovery, detection — per
+// cell of the defense matrix. Headline metrics: exact-recovery rate,
+// guesses-to-first-correct, and whether the monitor flagged each party.
+func BenchmarkKeyRecovery(b *testing.B) {
+	for _, vname := range victim.Names() {
+		for _, def := range attack.Defenses() {
+			b.Run(fmt.Sprintf("victim=%s/defense=%v", vname, def), func(b *testing.B) {
+				v, err := victim.ByName(vname, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				secret := victim.DemoSecret(v, 8, 42)
+				var rec, guesses, attFlagged, vicClean float64
+				for i := 0; i < b.N; i++ {
+					res := attack.Run(attack.Config{
+						Victim: v, Defense: def, Policy: replacement.TreePLRU,
+						Seed: uint64(i + 1),
+					}, secret)
+					rec += res.RecoveryRate
+					guesses += res.MeanGuesses
+					if res.AttackerVerdict == detect.Suspicious {
+						attFlagged++
+					}
+					if res.VictimVerdict == detect.Benign {
+						vicClean++
+					}
+				}
+				emitBench(b, map[string]float64{
+					"recovery-rate":    rec / float64(b.N),
+					"mean-guesses":     guesses / float64(b.N),
+					"attacker-flagged": attFlagged / float64(b.N),
+					"victim-clean":     vicClean / float64(b.N),
+				})
+			})
+		}
 	}
 }
 

@@ -1,0 +1,316 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/perfctr"
+	"repro/internal/replacement"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+	"repro/internal/victim"
+)
+
+// attackerTagBase keeps the attacker's prime/probe lines in a tag
+// range disjoint from every victim traffic class (see internal/victim).
+const attackerTagBase = 1 << 16
+
+// Config parameterizes one end-to-end key-recovery attack.
+type Config struct {
+	// Victim is the program under attack (required).
+	Victim victim.Victim
+	// Defense selects the cache design (default: unprotected).
+	Defense Defense
+	// Policy is the L1 replacement policy (the zero value is true LRU;
+	// pass replacement.TreePLRU for the paper's evaluated parts).
+	Policy replacement.Kind
+	// Profile supplies the cache geometry (default Sandy Bridge).
+	Profile uarch.Profile
+	// Votes is the number of observation windows fused per secret
+	// symbol (default 4).
+	Votes int
+	// ProfilingRounds is how many windows per symbol value the
+	// profiling phase collects (default 8).
+	ProfilingRounds int
+	// Seed drives every random choice (default 0x5eed).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Profile.Name == "" {
+		c.Profile = uarch.SandyBridge()
+	}
+	if c.Votes == 0 {
+		c.Votes = 4
+	}
+	if c.ProfilingRounds == 0 {
+		c.ProfilingRounds = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Result is the outcome of one attack run.
+type Result struct {
+	VictimName string
+	Defense    Defense
+	Policy     replacement.Kind
+
+	// Secret and Recovered are the planted and guessed symbol strings.
+	Secret, Recovered []int
+	// Posteriors[i] is the fused candidate distribution for symbol i.
+	Posteriors [][]float64
+	// Confidence[i] is the posterior mass of the recovered symbol.
+	Confidence []float64
+
+	// RecoveryRate is the fraction of symbols recovered exactly.
+	RecoveryRate float64
+	// MeanGuesses is the mean 1-based rank of the true symbol in the
+	// posterior — the expected guesses-to-first-correct per symbol
+	// (1.0 = perfect, SymbolSpace/2-ish = chance).
+	MeanGuesses float64
+	// Confusion[t][g] counts symbols of true value t recovered as g.
+	Confusion [][]int
+
+	// Windows counts every observation window the attack ran
+	// (profiling + exploitation).
+	Windows int
+
+	// Detection verdicts from the perfctr monitor over the live run's
+	// counters: is the attack observable while it runs, and does the
+	// victim stay clean?
+	AttackerVerdict, VictimVerdict detect.Verdict
+	AttackerExplain, VictimExplain string
+	AttackerReport, VictimReport   perfctr.Report
+}
+
+// session is one instantiated target+victim pair with the attacker's
+// probe apparatus: the profiling replica and the live run each get
+// their own.
+type session struct {
+	tg    Target
+	v     victim.Victim
+	sets  []int
+	lines [][]uint64 // attacker lines per monitored set
+	r     *rng.Rand
+	obs   Observation // reusable probe buffer
+
+	windows int
+}
+
+// newSession builds the cache under attack, warms (and under PL locks)
+// the victim's table, and primes every monitored set.
+func newSession(cfg Config, seed uint64) *session {
+	s := &session{
+		tg:   NewTarget(cfg.Defense, cfg.Profile, cfg.Policy, seed),
+		v:    cfg.Victim,
+		sets: cfg.Victim.MonitorSets(),
+		r:    rng.New(seed ^ 0xa77ac4),
+	}
+	ways := s.tg.AttackerWays()
+	totalSets := cfg.Profile.L1Sets
+	s.lines = make([][]uint64, len(s.sets))
+	for i, set := range s.sets {
+		s.lines[i] = make([]uint64, ways)
+		for w := 0; w < ways; w++ {
+			s.lines[i][w] = uint64(attackerTagBase+w)*uint64(totalSets) + uint64(set%totalSets)
+		}
+	}
+	s.obs = make(Observation, len(s.sets))
+
+	s.tg.WarmVictim(s.v.TableLines())
+	// The victim faults in its benign working set, like any program
+	// touching its data at startup.
+	for _, ln := range s.v.WarmLines() {
+		s.tg.Access(ln, ReqVictim)
+	}
+	// Initial prime, then one settling pass so every monitored set
+	// reaches the protocol's steady state (occupancy and replacement
+	// state canonical) before the first real window. The counters are
+	// then cleared: the detection verdict judges the attack's steady
+	// phase, not the one-off cold fill.
+	s.probe()
+	s.probe()
+	s.tg.ResetStats()
+	return s
+}
+
+// probe reloads the attacker's lines of every monitored set in fixed
+// order, recording the miss mask per set. The reloads re-prime the set
+// as they go, so probe doubles as the prime step of the next window.
+func (s *session) probe() Observation {
+	for i := range s.sets {
+		var mask uint16
+		for w, ln := range s.lines[i] {
+			if !s.tg.Access(ln, ReqAttacker) {
+				mask |= 1 << uint(w)
+			}
+		}
+		s.obs[i] = mask
+	}
+	return s.obs
+}
+
+// window runs one event: the victim processes one secret symbol, then
+// the attacker probes. The returned observation is owned by the caller.
+func (s *session) window(symbol int) Observation {
+	for _, step := range s.v.Sequence(symbol, s.r.Uint64()) {
+		s.tg.Access(step.Line, ReqVictim)
+	}
+	s.windows++
+	return s.probe().clone()
+}
+
+// buildTemplate runs the template-building phase on a fresh replica of
+// the target seeded with profSeed. Symbol values are interleaved
+// round-robin so every cell sees the same steady-state history mix. It
+// returns the template and the number of windows spent.
+func buildTemplate(cfg Config, profSeed uint64) (*Template, int) {
+	s := newSession(cfg, profSeed)
+	space := cfg.Victim.SymbolSpace()
+	tmpl := NewTemplate(space, len(s.sets), s.tg.AttackerWays())
+	for round := 0; round < cfg.ProfilingRounds; round++ {
+		for v := 0; v < space; v++ {
+			tmpl.Add(v, s.window(v))
+		}
+	}
+	return tmpl, s.windows
+}
+
+// Profile runs only the template-building phase (the classic
+// template-attack setting: the attacker profiles a device it controls,
+// with chosen secrets, before attacking the real one). The template is
+// identical to the one Run builds for the same config.
+func Profile(cfg Config) *Template {
+	cfg = cfg.withDefaults()
+	root := rng.New(cfg.Seed)
+	tmpl, _ := buildTemplate(cfg, root.Uint64())
+	return tmpl
+}
+
+// Run executes the full attack — profiling, then recovery of every
+// symbol of the secret on a fresh live target — and reports recovery
+// quality plus the detection verdicts.
+func Run(cfg Config, secret []int) Result {
+	cfg = cfg.withDefaults()
+	if cfg.Victim == nil {
+		panic("attack: Config.Victim is required")
+	}
+	if len(secret) == 0 {
+		panic("attack: empty secret")
+	}
+	space := cfg.Victim.SymbolSpace()
+
+	// Seed discipline: the profiling replica and the live target draw
+	// independent streams from the root seed, in a fixed order.
+	root := rng.New(cfg.Seed)
+	profSeed := root.Uint64()
+	liveSeed := root.Uint64()
+
+	// Phase 1: profiling on the attacker's replica.
+	tmpl, profWindows := buildTemplate(cfg, profSeed)
+
+	// Phase 2: exploitation on the live target.
+	live := newSession(cfg, liveSeed)
+	res := Result{
+		VictimName: cfg.Victim.Name(),
+		Defense:    cfg.Defense,
+		Policy:     cfg.Policy,
+		Secret:     append([]int(nil), secret...),
+		Confusion:  newConfusion(space),
+	}
+	votes := make([]Observation, cfg.Votes)
+	var ranks float64
+	correct := 0
+	for _, truth := range secret {
+		truth = truth % space
+		if truth < 0 {
+			truth += space
+		}
+		for v := range votes {
+			votes[v] = live.window(truth)
+		}
+		post := tmpl.ClassifyMany(votes)
+		guess := argmax(post)
+		res.Recovered = append(res.Recovered, guess)
+		res.Posteriors = append(res.Posteriors, post)
+		res.Confidence = append(res.Confidence, post[guess])
+		res.Confusion[truth][guess]++
+		if guess == truth {
+			correct++
+		}
+		ranks += float64(rankOf(post, truth))
+	}
+	res.RecoveryRate = float64(correct) / float64(len(secret))
+	res.MeanGuesses = ranks / float64(len(secret))
+	res.Windows = profWindows + live.windows
+
+	// Phase 3: the detection verdict — would a counter monitor have
+	// flagged either party while the live attack ran?
+	mon := detect.NewMonitor(detect.AttackThresholds())
+	res.AttackerReport = live.tg.Report(ReqAttacker)
+	res.VictimReport = live.tg.Report(ReqVictim)
+	res.AttackerVerdict = mon.Classify(res.AttackerReport)
+	res.VictimVerdict = mon.Classify(res.VictimReport)
+	res.AttackerExplain = mon.Explain(res.AttackerReport)
+	res.VictimExplain = mon.Explain(res.VictimReport)
+	return res
+}
+
+// ChanceGuesses is the guesses-to-first-correct of a blind attacker
+// against the victim: the mean rank of a uniformly placed symbol.
+func ChanceGuesses(v victim.Victim) float64 {
+	return (float64(v.SymbolSpace()) + 1) / 2
+}
+
+// ConfidenceSummary summarizes the per-symbol confidence scores.
+func (r Result) ConfidenceSummary() stats.Summary {
+	return stats.Summarize(r.Confidence)
+}
+
+// RenderConfusion formats the confusion matrix (rows = true symbol,
+// columns = recovered symbol) for symbol spaces small enough to print.
+func (r Result) RenderConfusion() string {
+	n := len(r.Confusion)
+	if n == 0 || n > 16 {
+		return ""
+	}
+	out := "true\\guess"
+	for g := 0; g < n; g++ {
+		out += fmt.Sprintf("%4x", g)
+	}
+	out += "\n"
+	for t, row := range r.Confusion {
+		out += fmt.Sprintf("%9x ", t)
+		for _, c := range row {
+			if c == 0 {
+				out += "   ."
+			} else {
+				out += fmt.Sprintf("%4d", c)
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func newConfusion(space int) [][]int {
+	m := make([][]int, space)
+	for i := range m {
+		m[i] = make([]int, space)
+	}
+	return m
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

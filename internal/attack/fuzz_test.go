@@ -1,0 +1,80 @@
+package attack
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/replacement"
+	"repro/internal/victim"
+)
+
+// fuzzTemplate is built once: a real profiled template (ttable victim,
+// baseline target), so the fuzzer exercises the classifier against the
+// same populated data structure the attack uses.
+var fuzzTemplateOnce = sync.OnceValue(func() *Template {
+	v, err := victim.ByName("ttable", 64)
+	if err != nil {
+		panic(err)
+	}
+	return Profile(Config{Victim: v, Policy: replacement.TreePLRU, ProfilingRounds: 2, Seed: 3})
+})
+
+func checkPosterior(t *testing.T, post []float64, space int) {
+	t.Helper()
+	if len(post) != space {
+		t.Fatalf("posterior length %d, want %d", len(post), space)
+	}
+	sum := 0.0
+	for _, p := range post {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+			t.Fatalf("invalid probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posterior sums to %v", sum)
+	}
+}
+
+// FuzzTemplateClassify feeds arbitrary observation vectors (any length,
+// any mask values, including ones no real probe can produce) to the
+// classifier: it must never panic and must always return a full,
+// normalized candidate distribution.
+func FuzzTemplateClassify(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0xff, 0x01, 0x80, 0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tmpl := fuzzTemplateOnce()
+		// Interpret the fuzz input as an observation: two bytes per
+		// mask so mask values beyond any real probe width appear too.
+		obs := make(Observation, 0, len(raw)/2+1)
+		for i := 0; i+1 < len(raw); i += 2 {
+			obs = append(obs, uint16(raw[i])|uint16(raw[i+1])<<8)
+		}
+		checkPosterior(t, tmpl.Classify(obs), tmpl.SymbolSpace())
+		checkPosterior(t, tmpl.ClassifyMany([]Observation{obs, obs}), tmpl.SymbolSpace())
+		checkPosterior(t, tmpl.ClassifyMany(nil), tmpl.SymbolSpace())
+	})
+}
+
+// FuzzTemplateAddClassify interleaves hostile Add calls (out-of-range
+// symbols, oversized observations) with classification on a fresh
+// template: totality must hold for a template in any state.
+func FuzzTemplateAddClassify(f *testing.F) {
+	f.Add(int16(0), []byte{1, 2, 3})
+	f.Add(int16(-5), []byte{})
+	f.Add(int16(300), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, symbol int16, raw []byte) {
+		tmpl := NewTemplate(4, 3, 8)
+		obs := make(Observation, 0, len(raw))
+		for _, b := range raw {
+			obs = append(obs, uint16(b))
+		}
+		tmpl.Add(int(symbol), obs)
+		tmpl.Add(0, obs)
+		checkPosterior(t, tmpl.Classify(obs), 4)
+	})
+}

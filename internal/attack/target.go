@@ -1,0 +1,283 @@
+// Package attack implements the attacker side of the secret-recovery
+// LRU side channel: replacement-state probe primitives over the cache
+// under attack, a profiling phase that builds per-secret-value
+// templates, and a template classifier that recovers key nibbles or
+// exponent bits with confidence scores.
+//
+// The protocol per monitored set is the paper's Algorithm 2 reshaped
+// for one-shot secret recovery: the attacker PRIMES the set by loading
+// its own `ways` lines in a fixed order, which both fills the ways and
+// leaves the replacement state in a canonical, history-free
+// configuration (every way was just touched in known order). The
+// victim then runs one event window containing its single
+// secret-dependent access, which advances the replacement state and —
+// because the set is full of attacker lines — displaces the line in
+// the policy's victim way. The attacker PROBES by reloading its lines
+// in the same fixed order, recording which of them miss: the miss
+// pattern reveals which way the victim's access promoted, and the
+// reloads themselves re-prime the set for the next window.
+//
+// The same protocol runs unchanged against every secure-cache design
+// of Section IX through the Target interface below, which is what
+// turns internal/secure from isolated demos into defenses evaluated
+// against a real attack.
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/hier"
+	"repro/internal/mem"
+	"repro/internal/perfctr"
+	"repro/internal/replacement"
+	"repro/internal/rng"
+	"repro/internal/secure"
+	"repro/internal/uarch"
+)
+
+// Requestor ids: the victim matches core.ReqSender (it is the
+// information source), the attacker the receiver.
+const (
+	ReqVictim   = 0
+	ReqAttacker = 1
+)
+
+// Defense selects the cache design under attack.
+type Defense int
+
+// The evaluated designs (Section IX).
+const (
+	// DefenseNone is the unprotected baseline hierarchy.
+	DefenseNone Defense = iota
+	// DefensePLCache is the original Partition-Locked cache: the
+	// victim's table lines are locked, but hits on locked lines still
+	// update replacement state (the Figure 11 top leak).
+	DefensePLCache
+	// DefensePLCacheFixed adds the paper's fix: locked-line hits and
+	// bypassed misses leave the replacement state untouched.
+	DefensePLCacheFixed
+	// DefenseRandomFill is the random-fill cache: misses are served
+	// uncached and a random neighbour is filled instead.
+	DefenseRandomFill
+	// DefenseDAWG partitions ways AND replacement state per domain.
+	DefenseDAWG
+)
+
+// String names the defense.
+func (d Defense) String() string {
+	switch d {
+	case DefenseNone:
+		return "none"
+	case DefensePLCache:
+		return "plcache"
+	case DefensePLCacheFixed:
+		return "plcache-fix"
+	case DefenseRandomFill:
+		return "randomfill"
+	case DefenseDAWG:
+		return "dawg"
+	default:
+		return fmt.Sprintf("Defense(%d)", int(d))
+	}
+}
+
+// ParseDefense maps a defense name back to its value, for flags.
+func ParseDefense(s string) (Defense, error) {
+	switch strings.ToLower(strings.ReplaceAll(s, "_", "-")) {
+	case "none", "baseline":
+		return DefenseNone, nil
+	case "plcache", "pl":
+		return DefensePLCache, nil
+	case "plcache-fix", "plcachefix", "pl-fix":
+		return DefensePLCacheFixed, nil
+	case "randomfill", "rf", "random-fill":
+		return DefenseRandomFill, nil
+	case "dawg":
+		return DefenseDAWG, nil
+	default:
+		return 0, fmt.Errorf("attack: unknown defense %q", s)
+	}
+}
+
+// Defenses lists every defense, in evaluation-matrix order.
+func Defenses() []Defense {
+	return []Defense{DefenseNone, DefensePLCache, DefensePLCacheFixed, DefenseRandomFill, DefenseDAWG}
+}
+
+// Target is the cache under attack as both parties see it: loads by
+// requestor, a victim-table warm-up hook, and performance counters for
+// the detection verdict. Implementations adapt the baseline hierarchy
+// and each internal/secure defense to this one surface so the attack
+// protocol runs unchanged across the whole defense matrix.
+type Target interface {
+	// Access performs one load and reports whether it hit at L1 speed
+	// — the attacker's (and victim's) only architectural observable.
+	Access(line uint64, requestor int) bool
+	// WarmVictim makes the victim's table lines resident before the
+	// attack (and locks them, under a PL cache), the paper's standing
+	// "the victim's data is already cached" precondition.
+	WarmVictim(lines []uint64)
+	// AttackerWays is how many ways of each set the attacker can
+	// occupy: the full associativity, except under DAWG where the
+	// attacker owns only its own partition.
+	AttackerWays() int
+	// Report renders one requestor's performance counters for the
+	// detection monitor.
+	Report(requestor int) perfctr.Report
+	// ResetStats zeroes the counters; the attack session calls it once
+	// after its warm-up so the monitor judges the steady phase (a real
+	// monitor samples rates over sliding windows, which amortizes any
+	// process's cold-start fill burst away).
+	ResetStats()
+}
+
+// randomFillWindow is the ±line half-width of the random-fill
+// neighbourhood, matching secure.RandomFillLeakExperiment.
+const randomFillWindow = 16
+
+// NewTarget builds the cache under attack: geometry from the profile,
+// the given L1 replacement policy, and the chosen defense. The seed
+// feeds only the defenses that need randomness (random fill).
+func NewTarget(d Defense, prof uarch.Profile, pol replacement.Kind, seed uint64) Target {
+	switch d {
+	case DefenseNone, DefensePLCache, DefensePLCacheFixed:
+		h := hier.New(hier.Config{
+			Profile:  prof,
+			L1Policy: pol, L2Policy: replacement.TreePLRU,
+			RNG:                    rng.New(seed),
+			PartitionLockedL1:      d != DefenseNone,
+			LockReplacementStateL1: d == DefensePLCacheFixed,
+		})
+		return &hierTarget{h: h, lock: d != DefenseNone, ways: prof.L1Ways}
+	case DefenseRandomFill:
+		return &rfTarget{
+			rf:   secure.NewRandomFillWithPolicy(prof.L1Sets, prof.L1Ways, randomFillWindow, pol, rng.New(seed)),
+			ways: prof.L1Ways,
+		}
+	case DefenseDAWG:
+		const domains = 2
+		return &dawgTarget{
+			d:       secure.NewDAWGWithPolicy(prof.L1Sets, prof.L1Ways, domains, pol),
+			waysPer: prof.L1Ways / domains,
+		}
+	default:
+		panic(fmt.Sprintf("attack: unknown defense %d", int(d)))
+	}
+}
+
+// lineAddr packages a physical line number as a resolved address (the
+// attack's address spaces are identity-mapped: the channel only cares
+// about set indices, which virtual and physical addresses share).
+func lineAddr(line uint64) mem.Addr {
+	return mem.Addr{Virt: line * 64, Phys: line * 64, VirtLine: line, PhysLine: line}
+}
+
+// hierTarget adapts the full hierarchy (baseline and both PL-cache
+// variants).
+type hierTarget struct {
+	h    *hier.Hierarchy
+	lock bool
+	ways int
+}
+
+func (t *hierTarget) Access(line uint64, requestor int) bool {
+	res := t.h.Load(lineAddr(line), requestor)
+	return res.Level == hier.LevelL1 && !res.UtagMiss
+}
+
+func (t *hierTarget) WarmVictim(lines []uint64) {
+	op := cache.OpLoad
+	if t.lock {
+		op = cache.OpLock
+	}
+	for _, ln := range lines {
+		// Two loads: the first may fill only L2 (or be bypassed), the
+		// second lands (and locks) the line in L1.
+		t.h.LoadOp(lineAddr(ln), ReqVictim, op)
+		t.h.LoadOp(lineAddr(ln), ReqVictim, op)
+	}
+}
+
+func (t *hierTarget) AttackerWays() int { return t.ways }
+
+func (t *hierTarget) Report(requestor int) perfctr.Report {
+	return perfctr.Collect(t.h, requestor)
+}
+
+func (t *hierTarget) ResetStats() { t.h.ResetStats() }
+
+// rfTarget adapts the random-fill cache. Warm-up goes through the
+// inner cache (the table was demand-filled before the defense-relevant
+// window, as in secure.RandomFillLeakExperiment); runtime accesses take
+// the random-fill path, so the attacker cannot deterministically
+// re-establish lines the defense refuses to fill.
+type rfTarget struct {
+	rf   *secure.RandomFillCache
+	ways int
+}
+
+func (t *rfTarget) Access(line uint64, requestor int) bool {
+	return t.rf.Access(line, requestor).Hit
+}
+
+func (t *rfTarget) WarmVictim(lines []uint64) {
+	for _, ln := range lines {
+		t.rf.Inner().Access(cache.Request{PhysLine: ln, Requestor: ReqVictim})
+	}
+}
+
+func (t *rfTarget) AttackerWays() int { return t.ways }
+
+func (t *rfTarget) Report(requestor int) perfctr.Report {
+	return reportFromL1(requestor, t.rf.Inner().RequestorStats(requestor))
+}
+
+func (t *rfTarget) ResetStats() { t.rf.Inner().ResetStats() }
+
+// dawgTarget adapts the way-partitioned cache: requestor == protection
+// domain, and the attacker sizes its prime to its own partition. The
+// DAWG model keeps no counters, so the adapter accounts accesses
+// itself (evictions stay inside a domain by construction, so
+// cross-domain evictions are structurally zero).
+type dawgTarget struct {
+	d       *secure.DAWGCache
+	waysPer int
+	stats   [2]cache.Stats
+}
+
+func (t *dawgTarget) Access(line uint64, requestor int) bool {
+	hit := t.d.Access(line, requestor)
+	s := &t.stats[requestor]
+	s.Accesses++
+	if hit {
+		s.Hits++
+	} else {
+		s.Misses++
+	}
+	return hit
+}
+
+func (t *dawgTarget) WarmVictim(lines []uint64) {
+	for _, ln := range lines {
+		t.Access(ln, ReqVictim)
+	}
+}
+
+func (t *dawgTarget) AttackerWays() int { return t.waysPer }
+
+func (t *dawgTarget) Report(requestor int) perfctr.Report {
+	return reportFromL1(requestor, t.stats[requestor])
+}
+
+func (t *dawgTarget) ResetStats() { t.stats = [2]cache.Stats{} }
+
+// reportFromL1 builds a perfctr view for targets that model only one
+// cache level.
+func reportFromL1(requestor int, s cache.Stats) perfctr.Report {
+	rep := perfctr.Report{Requestor: requestor}
+	rep.L1D = perfctr.FromStats("L1D", s)
+	rep.L2.Level = "L2"
+	return rep
+}

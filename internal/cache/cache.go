@@ -98,12 +98,18 @@ type Result struct {
 
 // Stats counts cache events, overall and attributed per requestor.
 type Stats struct {
-	Accesses   uint64
-	Hits       uint64
-	Misses     uint64
-	Evictions  uint64
-	Bypasses   uint64
-	UtagMisses uint64
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// CrossEvictions counts the subset of Evictions that displaced a
+	// line installed by a DIFFERENT requestor — the inter-process
+	// interference signature a prime-and-probe attacker cannot avoid
+	// (every probe refill displaces a victim line), which the
+	// detection monitor thresholds on.
+	CrossEvictions uint64
+	Bypasses       uint64
+	UtagMisses     uint64
 }
 
 // MissRate returns Misses/Accesses, or 0 when idle.
@@ -264,6 +270,10 @@ func (c *Cache) Access(req Request) Result {
 	res := Result{Hit: false, Way: victim, Evicted: evicted, DidEvict: true}
 	c.stats.Evictions++
 	rs.Evictions++
+	if lines[victim].owner != req.Requestor {
+		c.stats.CrossEvictions++
+		rs.CrossEvictions++
+	}
 	c.install(set, victim, tag, req)
 	return res
 }

@@ -46,6 +46,18 @@ type Thresholds struct {
 	// MinL2Refs makes the L2 criterion meaningful only when the process
 	// actually produced L2 traffic.
 	MinL2Refs uint64
+
+	// L1CrossEvictionRate flags a process whose reference stream keeps
+	// displacing OTHER processes' L1 lines — the prime-and-probe
+	// signature of the secret-recovery attacker, whose probe refills
+	// displace a victim line every observation window while a working
+	// process mostly churns its own data. Zero disables the criterion
+	// (it is off in DefaultThresholds, preserving the paper's Table VI
+	// monitor; AttackThresholds enables it).
+	L1CrossEvictionRate float64
+	// MinCrossEvictions gates the cross-eviction criterion on a minimum
+	// amount of observed interference.
+	MinCrossEvictions uint64
 }
 
 // DefaultThresholds returns the monitor configuration used in the
@@ -58,6 +70,19 @@ func DefaultThresholds() Thresholds {
 		L2MissRate:  0.5,
 		MinL2Refs:   50,
 	}
+}
+
+// AttackThresholds returns the monitor configuration for the
+// secret-recovery evaluation (internal/attack): the Table VI defaults
+// plus the cross-eviction criterion, which catches the prime-and-probe
+// attacker that the miss-rate rules alone let through (the attacker's
+// own miss rate stays under the 2% line — the paper's stealth argument
+// — but every one of its observation windows displaces a victim line).
+func AttackThresholds() Thresholds {
+	th := DefaultThresholds()
+	th.L1CrossEvictionRate = 0.008
+	th.MinCrossEvictions = 16
+	return th
 }
 
 // Monitor samples per-process counters from a hierarchy and classifies.
@@ -75,16 +100,35 @@ func NewMonitor(th Thresholds) *Monitor {
 
 // Classify inspects one process's counters.
 func (m *Monitor) Classify(rep perfctr.Report) Verdict {
+	v, _ := m.classify(rep)
+	return v
+}
+
+// classify returns the verdict together with the reason: which
+// threshold tripped, or why the monitor stayed quiet.
+func (m *Monitor) classify(rep perfctr.Report) (Verdict, string) {
 	if rep.L1D.Accesses < m.th.MinAccesses {
-		return Benign
+		return Benign, fmt.Sprintf("below the %d-access decision floor", m.th.MinAccesses)
+	}
+	// The cross-eviction criterion is consulted first when enabled: it
+	// is the discriminative one (a benign memory-heavy program can
+	// exceed any miss-rate line, but it churns its own working set —
+	// systematically displacing another process's lines is the
+	// prime-and-probe signature).
+	if m.th.L1CrossEvictionRate > 0 && rep.L1D.CrossEvictions >= m.th.MinCrossEvictions &&
+		rep.L1D.CrossEvictionRate() > m.th.L1CrossEvictionRate {
+		return Suspicious, fmt.Sprintf("L1D cross-eviction rate %.2f%% > threshold %.2f%%",
+			100*rep.L1D.CrossEvictionRate(), 100*m.th.L1CrossEvictionRate)
 	}
 	if rep.L1D.MissRate() > m.th.L1MissRate {
-		return Suspicious
+		return Suspicious, fmt.Sprintf("L1D miss rate %.2f%% > threshold %.2f%%",
+			100*rep.L1D.MissRate(), 100*m.th.L1MissRate)
 	}
 	if rep.L2.Accesses >= m.th.MinL2Refs && rep.L2.MissRate() > m.th.L2MissRate {
-		return Suspicious
+		return Suspicious, fmt.Sprintf("L2 miss rate %.2f%% > threshold %.2f%%",
+			100*rep.L2.MissRate(), 100*m.th.L2MissRate)
 	}
-	return Benign
+	return Benign, "no threshold exceeded"
 }
 
 // ClassifyProcess reads the counters for one requestor and classifies.
@@ -92,10 +136,11 @@ func (m *Monitor) ClassifyProcess(h *hier.Hierarchy, requestor int) Verdict {
 	return m.Classify(perfctr.Collect(h, requestor))
 }
 
-// Explain renders the decision with the evidence, for reports.
+// Explain renders the decision with the evidence and names the
+// threshold that triggered it (or states that none did), for reports.
 func (m *Monitor) Explain(rep perfctr.Report) string {
-	v := m.Classify(rep)
-	return fmt.Sprintf("%s (L1D miss %.2f%% over %d refs, L2 miss %.2f%% over %d refs)",
-		v, 100*rep.L1D.MissRate(), rep.L1D.Accesses,
+	v, reason := m.classify(rep)
+	return fmt.Sprintf("%s (%s; L1D miss %.2f%% over %d refs, L2 miss %.2f%% over %d refs)",
+		v, reason, 100*rep.L1D.MissRate(), rep.L1D.Accesses,
 		100*rep.L2.MissRate(), rep.L2.Accesses)
 }

@@ -1,0 +1,90 @@
+package detect_test
+
+// The detection side of the secret-recovery subsystem, end to end: the
+// monitor classifies a real attack run's processes — attacker flagged,
+// victim clean — and its explanation names the threshold that fired.
+// (External test package: internal/attack imports detect, so this
+// lives in detect_test to keep the import graph acyclic.)
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/detect"
+	"repro/internal/perfctr"
+	"repro/internal/replacement"
+	"repro/internal/victim"
+)
+
+func runAttack(t *testing.T, vname string) attack.Result {
+	t.Helper()
+	v, err := victim.ByName(vname, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := victim.DemoSecret(v, 8, 21)
+	return attack.Run(attack.Config{
+		Victim: v, Policy: replacement.TreePLRU, Seed: 13,
+	}, secret)
+}
+
+// TestMonitorClassifiesAttackRuns is the end-to-end satellite: every
+// victim kind's attack run yields a flagged attacker and a clean
+// victim under the attack thresholds.
+func TestMonitorClassifiesAttackRuns(t *testing.T) {
+	for _, vname := range victim.Names() {
+		res := runAttack(t, vname)
+		if res.AttackerVerdict != detect.Suspicious {
+			t.Errorf("%s: attacker process %v, want suspicious\n%s",
+				vname, res.AttackerVerdict, res.AttackerExplain)
+		}
+		if res.VictimVerdict != detect.Benign {
+			t.Errorf("%s: victim process %v, want benign\n%s",
+				vname, res.VictimVerdict, res.VictimExplain)
+		}
+	}
+}
+
+// The extended Explain names the triggering threshold on both kinds of
+// verdict.
+func TestExplainNamesTriggeringThreshold(t *testing.T) {
+	res := runAttack(t, "ttable")
+	if !strings.Contains(res.AttackerExplain, "threshold") {
+		t.Errorf("suspicious explanation lacks the threshold: %q", res.AttackerExplain)
+	}
+	if !strings.Contains(res.AttackerExplain, "cross-eviction") {
+		t.Errorf("attacker should trip the cross-eviction criterion: %q", res.AttackerExplain)
+	}
+	if !strings.Contains(res.VictimExplain, "no threshold exceeded") {
+		t.Errorf("benign explanation lacks the reason: %q", res.VictimExplain)
+	}
+
+	// The miss-rate criterion names itself too.
+	m := detect.NewMonitor(detect.Thresholds{})
+	var rep perfctr.Report
+	rep.L1D.Accesses, rep.L1D.Misses = 1000, 1000
+	out := m.Explain(rep)
+	if !strings.Contains(out, "L1D miss rate") || !strings.Contains(out, "threshold") {
+		t.Errorf("miss-rate explanation incomplete: %q", out)
+	}
+}
+
+// The stock Table VI thresholds must be unchanged by the new criterion
+// (it is disabled by default): a heavy cross-evictor with a benign miss
+// profile stays benign under DefaultThresholds and turns suspicious
+// only under AttackThresholds.
+func TestCrossEvictionCriterionIsOptIn(t *testing.T) {
+	var rep perfctr.Report
+	rep.L1D.Accesses = 10_000
+	rep.L1D.Misses = 100 // 1%: under the 2% line
+	rep.L1D.Evictions = 100
+	rep.L1D.CrossEvictions = 100 // 1%: over the 0.8% attack line
+
+	if v := detect.NewMonitor(detect.DefaultThresholds()).Classify(rep); v != detect.Benign {
+		t.Errorf("default monitor classified %v; the new criterion must be opt-in", v)
+	}
+	if v := detect.NewMonitor(detect.AttackThresholds()).Classify(rep); v != detect.Suspicious {
+		t.Errorf("attack monitor classified %v; cross-evictions should trip it", v)
+	}
+}

@@ -13,11 +13,17 @@ import (
 	"repro/internal/hier"
 )
 
-// LevelCounters is the per-level counter triple for one process.
+// LevelCounters is the per-level counter view for one process.
 type LevelCounters struct {
 	Level    string
 	Accesses uint64
 	Misses   uint64
+	// Evictions counts valid lines this process displaced;
+	// CrossEvictions the subset that belonged to another process (the
+	// prime-and-probe interference signature the attack monitor
+	// thresholds on).
+	Evictions      uint64
+	CrossEvictions uint64
 }
 
 // MissRate returns Misses/Accesses (0 when idle).
@@ -26,6 +32,16 @@ func (l LevelCounters) MissRate() float64 {
 		return 0
 	}
 	return float64(l.Misses) / float64(l.Accesses)
+}
+
+// CrossEvictionRate returns CrossEvictions/Accesses (0 when idle): how
+// much of the process's reference stream displaces other processes'
+// cache lines.
+func (l LevelCounters) CrossEvictionRate() float64 {
+	if l.Accesses == 0 {
+		return 0
+	}
+	return float64(l.CrossEvictions) / float64(l.Accesses)
 }
 
 // Report is the perf view of one process (requestor id) over a run.
@@ -49,8 +65,18 @@ func Collect(h *hier.Hierarchy, requestor int) Report {
 	return rep
 }
 
+// FromStats converts one cache level's raw counters into the perf
+// view. It is exported for attack targets that model a single cache
+// level outside a hier.Hierarchy (random fill, DAWG).
+func FromStats(level string, s cache.Stats) LevelCounters {
+	return LevelCounters{
+		Level: level, Accesses: s.Accesses, Misses: s.Misses,
+		Evictions: s.Evictions, CrossEvictions: s.CrossEvictions,
+	}
+}
+
 func fromStats(level string, s cache.Stats) LevelCounters {
-	return LevelCounters{Level: level, Accesses: s.Accesses, Misses: s.Misses}
+	return FromStats(level, s)
 }
 
 // CollectCombined merges the counters of several requestors (Table VII
@@ -63,10 +89,16 @@ func CollectCombined(h *hier.Hierarchy, requestors ...int) Report {
 		one := Collect(h, r)
 		rep.L1D.Accesses += one.L1D.Accesses
 		rep.L1D.Misses += one.L1D.Misses
+		rep.L1D.Evictions += one.L1D.Evictions
+		rep.L1D.CrossEvictions += one.L1D.CrossEvictions
 		rep.L2.Accesses += one.L2.Accesses
 		rep.L2.Misses += one.L2.Misses
+		rep.L2.Evictions += one.L2.Evictions
+		rep.L2.CrossEvictions += one.L2.CrossEvictions
 		rep.LLC.Accesses += one.LLC.Accesses
 		rep.LLC.Misses += one.LLC.Misses
+		rep.LLC.Evictions += one.LLC.Evictions
+		rep.LLC.CrossEvictions += one.LLC.CrossEvictions
 		rep.HasLLC = rep.HasLLC || one.HasLLC
 	}
 	return rep

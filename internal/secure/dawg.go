@@ -30,8 +30,16 @@ type dawgLine struct {
 }
 
 // NewDAWG builds a partitioned cache: `ways` total ways per set divided
-// evenly among `domains` protection domains.
+// evenly among `domains` protection domains, running Tree-PLRU inside
+// each partition.
 func NewDAWG(sets, ways, domains int) *DAWGCache {
+	return NewDAWGWithPolicy(sets, ways, domains, replacement.TreePLRU)
+}
+
+// NewDAWGWithPolicy is NewDAWG with an explicit per-partition
+// replacement policy, for the secret-recovery defense matrix that
+// sweeps the attack across policies.
+func NewDAWGWithPolicy(sets, ways, domains int, pol replacement.Kind) *DAWGCache {
 	if domains < 1 || ways%domains != 0 {
 		panic(fmt.Sprintf("secure: %d ways not divisible among %d domains", ways, domains))
 	}
@@ -42,7 +50,7 @@ func NewDAWG(sets, ways, domains int) *DAWGCache {
 		d.lines[s] = make([]dawgLine, ways)
 		d.policies[s] = make([]replacement.Policy, domains)
 		for dom := 0; dom < domains; dom++ {
-			d.policies[s][dom] = replacement.New(replacement.TreePLRU, d.waysPer, nil)
+			d.policies[s][dom] = replacement.New(pol, d.waysPer, nil)
 		}
 	}
 	return d

@@ -20,12 +20,20 @@ type RandomFillCache struct {
 	Window uint64
 }
 
-// NewRandomFill builds a random-fill cache with the paper's L1D geometry.
+// NewRandomFill builds a random-fill cache with the paper's L1D
+// geometry and Tree-PLRU replacement.
 func NewRandomFill(sets, ways int, window uint64, r *rng.Rand) *RandomFillCache {
+	return NewRandomFillWithPolicy(sets, ways, window, replacement.TreePLRU, r)
+}
+
+// NewRandomFillWithPolicy is NewRandomFill with an explicit replacement
+// policy, for the secret-recovery defense matrix. The rng is required
+// when pol is replacement.Random and for the fill randomness itself.
+func NewRandomFillWithPolicy(sets, ways int, window uint64, pol replacement.Kind, r *rng.Rand) *RandomFillCache {
 	return &RandomFillCache{
 		inner: cache.New(cache.Config{
 			Name: "RF-L1D", Sets: sets, Ways: ways, LineSize: 64,
-			Policy: replacement.TreePLRU,
+			Policy: pol, RNG: r,
 		}),
 		r:      r,
 		Window: window,

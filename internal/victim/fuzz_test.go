@@ -1,0 +1,41 @@
+package victim
+
+import "testing"
+
+// FuzzSequenceInvariants is the victim-sequence invariant fuzz: for any
+// (victim, symbol, seed), two Sequence calls must yield the identical
+// access stream (the property template profiling transfers on), the
+// stream must be non-empty, and every secret-dependent access must land
+// in a monitored set.
+func FuzzSequenceInvariants(f *testing.F) {
+	f.Add(uint8(0), int16(3), uint64(1))
+	f.Add(uint8(1), int16(-7), uint64(0))
+	f.Add(uint8(2), int16(1000), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, which uint8, symbol int16, seed uint64) {
+		name := Names()[int(which)%len(Names())]
+		v, err := ByName(name, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := v.Sequence(int(symbol), seed)
+		b := v.Sequence(int(symbol), seed)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty sequence", name)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: non-deterministic length %d vs %d", name, len(a), len(b))
+		}
+		monitored := map[uint64]bool{}
+		for _, s := range v.MonitorSets() {
+			monitored[uint64(s)] = true
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: step %d differs across identical calls", name, i)
+			}
+			if a[i].Secret && !monitored[a[i].Line%64] {
+				t.Fatalf("%s: secret access outside monitored sets", name)
+			}
+		}
+	})
+}

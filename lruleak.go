@@ -30,6 +30,7 @@ package lruleak
 import (
 	"io"
 
+	"repro/internal/attack"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/transport"
 	"repro/internal/transport/codec"
 	"repro/internal/uarch"
+	"repro/internal/victim"
 )
 
 // Re-exported configuration and result types. These are aliases, so the
@@ -84,7 +86,36 @@ type (
 	StreamPoint = transport.CapacityPoint
 	// StreamCodec is the transport's pluggable error-correcting code.
 	StreamCodec = codec.Codec
+	// VictimProgram is a secret-dependent victim (internal/victim):
+	// the program the key-recovery attack observes.
+	VictimProgram = victim.Victim
+	// AttackConfig parameterizes one end-to-end key-recovery attack.
+	AttackConfig = attack.Config
+	// AttackResult is the recovery outcome plus detection verdicts.
+	AttackResult = attack.Result
+	// AttackDefense selects the secure-cache design under attack.
+	AttackDefense = attack.Defense
 )
+
+// NewVictim constructs a victim program by kind name ("ttable",
+// "sqmul", "lookup") over a cache with the given set count.
+func NewVictim(name string, sets int) (VictimProgram, error) { return victim.ByName(name, sets) }
+
+// RunAttack executes the full template attack (profiling, recovery,
+// detection verdict) against the configured victim and defense.
+func RunAttack(cfg AttackConfig, secret []int) AttackResult { return attack.Run(cfg, secret) }
+
+// AttackDefenseByName resolves a defense name ("none", "plcache",
+// "plcache-fix", "randomfill", "dawg") for command-line flags.
+func AttackDefenseByName(name string) (AttackDefense, error) { return attack.ParseDefense(name) }
+
+// AttackDefenses lists the evaluated defenses in matrix order.
+func AttackDefenses() []AttackDefense { return attack.Defenses() }
+
+// AttackChanceGuesses is the guesses-to-first-correct a blind attacker
+// achieves against the victim — the chance baseline attack reports are
+// compared to.
+func AttackChanceGuesses(v VictimProgram) float64 { return attack.ChanceGuesses(v) }
 
 // NewStream builds a streaming transport over a fresh multi-set LRU
 // channel.

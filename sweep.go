@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/transport"
 	"repro/internal/transport/codec"
+	"repro/internal/victim"
 )
 
 // This file is the generalization the engine buys us: arbitrary
@@ -299,6 +302,191 @@ func RenderStreamDemo(points []StreamPoint) string {
 		fmt.Fprintf(&b, "%-10s  %2d/%-2d   %5.1f%%  %-7d  %7.1f Kbps\n",
 			p.Codec, p.FramesOK, p.FramesSent, 100*p.FrameErrorRate,
 			p.ByteErrors, p.GoodputBps/1000)
+	}
+	return b.String()
+}
+
+// AttackSpec declares a cross-product grid of secret-recovery attacks:
+// victims × replacement policies × defenses × uarch profiles, each cell
+// running the full template attack of internal/attack and reporting
+// recovery quality plus the detection verdicts. Zero-valued dimensions
+// get sensible defaults, so the zero spec is a runnable matrix.
+type AttackSpec struct {
+	// Victims defaults to every victim kind (ttable, sqmul, lookup).
+	Victims []string
+	// Policies defaults to the LRU family the paper studies
+	// (true LRU, Tree-PLRU, Bit-PLRU).
+	Policies []ReplacementKind
+	// Defenses defaults to the full Section IX matrix (baseline, both
+	// PL-cache variants, random fill, DAWG).
+	Defenses []AttackDefense
+	// Profiles defaults to Sandy Bridge only (the attack depends on
+	// geometry, which all three Table III parts share).
+	Profiles []Profile
+	// Symbols is the demo-secret length per cell (default 8).
+	Symbols int
+	// Votes is the observation windows fused per symbol (default 4).
+	Votes int
+	// ProfilingRounds is the per-symbol-value template windows
+	// (default 8).
+	ProfilingRounds int
+	// Trials is the independent repetitions per cell, each with its own
+	// split seed (default 1).
+	Trials int
+}
+
+func (sp AttackSpec) withDefaults() AttackSpec {
+	if len(sp.Victims) == 0 {
+		sp.Victims = victim.Names()
+	}
+	if len(sp.Policies) == 0 {
+		sp.Policies = []ReplacementKind{TrueLRU, TreePLRU, BitPLRU}
+	}
+	if len(sp.Defenses) == 0 {
+		sp.Defenses = attack.Defenses()
+	}
+	if len(sp.Profiles) == 0 {
+		sp.Profiles = []Profile{SandyBridge()}
+	}
+	if sp.Symbols == 0 {
+		sp.Symbols = 8
+	}
+	if sp.Votes == 0 {
+		sp.Votes = 4
+	}
+	if sp.ProfilingRounds == 0 {
+		sp.ProfilingRounds = 8
+	}
+	if sp.Trials == 0 {
+		sp.Trials = 1
+	}
+	return sp
+}
+
+// AttackCell is one grid point of the defense-evaluation matrix.
+type AttackCell struct {
+	Victim  string
+	Profile Profile
+	Policy  ReplacementKind
+	Defense AttackDefense
+
+	// Recovery summarizes the recovery rate over the cell's trials.
+	Recovery engine.Summary
+	// Guesses summarizes mean guesses-to-first-correct per symbol.
+	Guesses engine.Summary
+	// AttackerFlagged and VictimFlagged are the fractions of trials in
+	// which the counter monitor called each process suspicious.
+	AttackerFlagged, VictimFlagged float64
+}
+
+// AttackSweep runs the full cross product of the spec through the
+// engine and returns the cells in grid order (victims-major, then
+// profiles, policies, defenses). Each (cell, trial) seed is split
+// deterministically from the root seed by grid position, and all cells
+// of one victim kind attack the same demo secret, so the matrix is
+// comparable across defenses and bit-identical at any worker count.
+func AttackSweep(spec AttackSpec, seed uint64, opt RunOptions) []AttackCell {
+	spec = spec.withDefaults()
+
+	type cellID struct {
+		vname string
+		prof  Profile
+		pol   ReplacementKind
+		def   AttackDefense
+	}
+	var ids []cellID
+	for _, vname := range spec.Victims {
+		for _, prof := range spec.Profiles {
+			// Validate every (victim, profile) pairing up front so a
+			// bad spec fails here, not inside an engine worker.
+			if _, err := victim.ByName(vname, prof.L1Sets); err != nil {
+				panic(fmt.Sprintf("lruleak: AttackSweep: %s on %s: %v", vname, prof.Arch, err))
+			}
+			for _, pol := range spec.Policies {
+				for _, def := range spec.Defenses {
+					ids = append(ids, cellID{vname, prof, pol, def})
+				}
+			}
+		}
+	}
+
+	type trialResult struct {
+		rec, guesses           float64
+		attFlagged, vicFlagged bool
+	}
+	seeds := engine.Seeds(seed, len(ids)*spec.Trials)
+	jobs := make([]engine.Job[trialResult], 0, len(ids)*spec.Trials)
+	for _, id := range ids {
+		id := id
+		for trial := 0; trial < spec.Trials; trial++ {
+			jobs = append(jobs, engine.Job[trialResult]{
+				Name: fmt.Sprintf("attack/%s/%v/%v/%s/trial=%d",
+					id.vname, id.pol, id.def, id.prof.Arch, trial),
+				Seed: seeds[len(jobs)],
+				Run: func(s uint64) trialResult {
+					v, err := victim.ByName(id.vname, id.prof.L1Sets)
+					if err != nil {
+						panic(err)
+					}
+					secret := victim.DemoSecret(v, spec.Symbols, seed)
+					res := attack.Run(attack.Config{
+						Victim: v, Defense: id.def, Policy: id.pol,
+						Profile: id.prof, Votes: spec.Votes,
+						ProfilingRounds: spec.ProfilingRounds, Seed: s,
+					}, secret)
+					return trialResult{
+						rec:        res.RecoveryRate,
+						guesses:    res.MeanGuesses,
+						attFlagged: res.AttackerVerdict == detect.Suspicious,
+						vicFlagged: res.VictimVerdict == detect.Suspicious,
+					}
+				},
+			})
+		}
+	}
+	rs := engine.Run(jobs, opt)
+
+	cells := make([]AttackCell, len(ids))
+	for ci, id := range ids {
+		sub := rs[ci*spec.Trials : (ci+1)*spec.Trials]
+		cell := AttackCell{Victim: id.vname, Profile: id.prof, Policy: id.pol, Defense: id.def}
+		cell.Recovery = engine.SummarizeBy(sub, func(t trialResult) float64 { return t.rec })
+		cell.Guesses = engine.SummarizeBy(sub, func(t trialResult) float64 { return t.guesses })
+		for _, r := range sub {
+			if r.Value.attFlagged {
+				cell.AttackerFlagged++
+			}
+			if r.Value.vicFlagged {
+				cell.VictimFlagged++
+			}
+		}
+		cell.AttackerFlagged /= float64(len(sub))
+		cell.VictimFlagged /= float64(len(sub))
+		cells[ci] = cell
+	}
+	return cells
+}
+
+// RenderAttackSweep formats the defense-evaluation matrix as a flat
+// table: which defense stops which attack, and whether the monitor
+// flags the attacker (and spares the victim) while it runs.
+func RenderAttackSweep(cells []AttackCell) string {
+	var b strings.Builder
+	b.WriteString("Victim   Policy      Defense       Recovery  Guesses  Attacker     Victim\n")
+	for _, c := range cells {
+		att, vic := "benign", "benign"
+		if c.AttackerFlagged > 0.5 {
+			att = "flagged"
+		}
+		if c.VictimFlagged > 0.5 {
+			vic = "flagged"
+		}
+		fmt.Fprintf(&b, "%-7s  %-10v  %-12v  %8.2f  %7.1f  %-11s  %s",
+			c.Victim, c.Policy, c.Defense, c.Recovery.Mean, c.Guesses.Mean, att, vic)
+		if c.Recovery.N > 1 {
+			fmt.Fprintf(&b, "  (±%.2f over %d trials)", c.Recovery.Std, c.Recovery.N)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
