@@ -16,10 +16,14 @@ import (
 	"testing"
 
 	"repro/internal/attack"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/hier"
+	"repro/internal/mem"
 	"repro/internal/perf"
 	"repro/internal/replacement"
+	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/spectre"
 	"repro/internal/stats"
@@ -189,26 +193,45 @@ func BenchmarkTableIV(b *testing.B) {
 	emitBench(b, nil)
 }
 
+// speedupVariants enumerates the worker counts of the parallel-speedup
+// benchmarks. The workers=all variant is meaningless on a single-core
+// runner — the "parallel" run is the serial run plus pool overhead, and
+// publishing its 1.0x ratio misled a whole baseline — so it is skipped
+// there, and every variant records the worker count that actually ran
+// plus GOMAXPROCS so the emitted JSON is self-describing.
+func speedupVariants(b *testing.B, run func(b *testing.B, workers int)) {
+	procs := runtime.GOMAXPROCS(0)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", procs}} {
+		b.Run(bc.name, func(b *testing.B) {
+			if bc.name == "workers=all" && procs == 1 {
+				b.Skip("GOMAXPROCS=1: workers=all would be the workers=1 run; skipping the meaningless 1.0x ratio")
+			}
+			run(b, bc.workers)
+			emitBench(b, map[string]float64{
+				"workers":    float64(RunOptions{Workers: bc.workers}.ResolvedWorkers()),
+				"gomaxprocs": float64(procs),
+			})
+		})
+	}
+}
+
 // BenchmarkTableIVParallelSpeedup is the engine's headline number: the
 // same full Table IV sweep at one worker and at all cores. On a
 // multi-core runner the ns/op ratio between the two sub-benches is the
 // wall-time speedup (>= 2x expected: the sweep's two heavyweight Zen
 // cells run concurrently instead of back to back).
 func BenchmarkTableIVParallelSpeedup(b *testing.B) {
-	for _, bc := range []struct {
-		name    string
-		workers int
-	}{{"workers=1", 1}, {"workers=all", runtime.GOMAXPROCS(0)}} {
-		b.Run(bc.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				cells := TableIV(32, 2, uint64(i+1), RunOptions{Workers: bc.workers})
-				if len(cells) != 8 {
-					b.Fatal("table shape")
-				}
+	speedupVariants(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			cells := TableIV(32, 2, uint64(i+1), RunOptions{Workers: workers})
+			if len(cells) != 8 {
+				b.Fatal("table shape")
 			}
-			emitBench(b, map[string]float64{"workers": float64(bc.workers)})
-		})
-	}
+		}
+	})
 }
 
 // BenchmarkSweepParallelSpeedup scales further than Table IV: a 24-cell
@@ -219,20 +242,14 @@ func BenchmarkSweepParallelSpeedup(b *testing.B) {
 		Policies: []ReplacementKind{TreePLRU, BitPLRU, FIFO, Random},
 		MsgBits:  16, Repeats: 1,
 	}
-	for _, bc := range []struct {
-		name    string
-		workers int
-	}{{"workers=1", 1}, {"workers=all", runtime.GOMAXPROCS(0)}} {
-		b.Run(bc.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				cells := Sweep(spec, uint64(i+1), RunOptions{Workers: bc.workers})
-				if len(cells) != 24 {
-					b.Fatalf("sweep has %d cells", len(cells))
-				}
+	speedupVariants(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			cells := Sweep(spec, uint64(i+1), RunOptions{Workers: workers})
+			if len(cells) != 24 {
+				b.Fatalf("sweep has %d cells", len(cells))
 			}
-			emitBench(b, map[string]float64{"workers": float64(bc.workers)})
-		})
-	}
+		}
+	})
 }
 
 func BenchmarkTableV(b *testing.B) {
@@ -524,6 +541,85 @@ func BenchmarkDetectionEvasion(b *testing.B) {
 		}
 	}
 	emitBench(b, map[string]float64{"fr-caught-lru-missed": float64(evaded) / float64(b.N)})
+}
+
+// --- hot-path microbenchmarks ---
+//
+// Every experiment above bottoms out in cache.Access and hier.Load;
+// these two benches watch the substrate itself. The headline metric is
+// allocs/op, which must stay at 0 (the flattened hot path's invariant,
+// also pinned by the AllocsPerRun regression tests).
+
+// BenchmarkCacheAccess measures one L1-shaped cache access per policy:
+// a warm hit and a full miss/evict/install, alternating, so both paths
+// stay resident in the measurement.
+func BenchmarkCacheAccess(b *testing.B) {
+	for _, pol := range replacement.Kinds() {
+		b.Run("policy="+pol.String(), func(b *testing.B) {
+			cfg := cache.Config{Name: "L1D", Sets: 64, Ways: 8, LineSize: 64, Policy: pol}
+			if pol == replacement.Random {
+				cfg.RNG = rng.New(11)
+			}
+			c := cache.New(cfg)
+			const set = 5
+			line := func(i int) uint64 { return uint64(i)*64 + set }
+			for i := 0; i < 8; i++ {
+				c.Access(cache.Request{PhysLine: line(i)})
+			}
+			// Alternate a fresh-tag miss (install + evict) with a
+			// re-access of the line just installed — resident under
+			// EVERY policy, including FIFO and Random, whose victim
+			// choice ignores recency.
+			last := line(7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i&1 == 0 {
+					c.Access(cache.Request{PhysLine: last})
+				} else {
+					last = line(8 + i)
+					c.Access(cache.Request{PhysLine: last})
+				}
+			}
+			// Keep emitBench's own file write out of the ns-scale
+			// measurement (it matters at -benchtime 1x).
+			b.StopTimer()
+			emitBench(b, nil)
+		})
+	}
+}
+
+// BenchmarkHierLoad measures a full-hierarchy load per prefetcher model:
+// alternating L1 hits and all-level misses (the miss also exercises the
+// prefetcher's issue path).
+func BenchmarkHierLoad(b *testing.B) {
+	for _, pf := range []hier.PrefetcherKind{hier.PrefetchNone, hier.PrefetchNextLine, hier.PrefetchStride} {
+		b.Run("prefetch="+pf.String(), func(b *testing.B) {
+			h := hier.New(hier.Config{
+				Profile:  SandyBridge(),
+				L1Policy: replacement.TreePLRU, L2Policy: replacement.TreePLRU,
+				Prefetcher: pf,
+				WithLLC:    true,
+			})
+			addr := func(pl uint64) mem.Addr {
+				return mem.Addr{Virt: pl * 64, Phys: pl * 64, VirtLine: pl, PhysLine: pl}
+			}
+			h.Load(addr(1), 0)
+			next := uint64(1 << 20)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i&1 == 0 {
+					h.Load(addr(1), 0)
+				} else {
+					h.Load(addr(next), 0)
+					next += 2
+				}
+			}
+			b.StopTimer()
+			emitBench(b, nil)
+		})
+	}
 }
 
 // --- helpers ---

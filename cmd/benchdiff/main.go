@@ -1,0 +1,221 @@
+// Command benchdiff compares a fresh BENCH_JSON run against a committed
+// baseline (BENCH_BASELINE.json) and reports per-benchmark deltas.
+//
+// Two kinds of numbers live in those files and they are judged very
+// differently:
+//
+//   - ns/op is machine- and load-dependent. Deltas are REPORTED (so the
+//     performance trajectory is visible in CI artifacts) but never fail
+//     the comparison.
+//
+//   - The metrics map holds experiment-quality results — error rates,
+//     recovery accuracy, separable fractions, eviction probabilities —
+//     which are produced by a seeded, deterministic simulator and must
+//     not drift at all between runs with the same trial count. Any
+//     quality metric moving by more than -tol is a behaviour change in
+//     the simulator and FAILS the comparison (exit code 1).
+//
+// Machine-dependent metrics ("workers", "gomaxprocs") and benchmarks
+// whose trial counts differ between the two files (the metrics are
+// per-iteration averages over different seed sets) are compared
+// informationally only.
+//
+// Usage:
+//
+//	BENCH_JSON=bench.json go test -run xxx -bench . -benchtime 1x .
+//	go run ./cmd/benchdiff -baseline BENCH_BASELINE.json -current bench.json -out report.md
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// record mirrors the BENCH_JSON line schema written by emitBench.
+type record struct {
+	Name    string             `json:"name"`
+	Trials  int                `json:"trials"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// informational metrics describe the machine, not the experiment; they
+// may differ between runners without meaning anything.
+var informational = map[string]bool{
+	"workers":    true,
+	"gomaxprocs": true,
+}
+
+func load(path string) (map[string]record, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	recs := map[string]record{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: %v", path, ln, err)
+		}
+		if _, dup := recs[r.Name]; !dup {
+			order = append(order, r.Name)
+		}
+		recs[r.Name] = r
+	}
+	return recs, order, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline BENCH_JSON file")
+	currentPath := flag.String("current", "", "freshly generated BENCH_JSON file (required)")
+	outPath := flag.String("out", "", "write the report here instead of stdout")
+	tol := flag.Float64("tol", 1e-9, "maximum allowed absolute drift of a quality metric")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, _, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, curOrder, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# benchdiff: %s vs %s\n\n", *currentPath, *baselinePath)
+	fmt.Fprintf(&b, "| benchmark | ns/op (base → cur) | speedup | quality |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|\n")
+
+	var failures []string
+	for _, name := range curOrder {
+		c := cur[name]
+		o, inBase := base[name]
+		if !inBase {
+			fmt.Fprintf(&b, "| %s | new: %.3gms | — | new benchmark |\n", name, c.NsPerOp/1e6)
+			continue
+		}
+		speed := "—"
+		if c.NsPerOp > 0 {
+			speed = fmt.Sprintf("%.2fx", o.NsPerOp/c.NsPerOp)
+		}
+		quality := describeQuality(name, o, c, *tol, &failures)
+		fmt.Fprintf(&b, "| %s | %.3gms → %.3gms | %s | %s |\n",
+			name, o.NsPerOp/1e6, c.NsPerOp/1e6, speed, quality)
+	}
+
+	// Baseline benchmarks absent from the current run: normal for
+	// partial bench invocations, so informational only.
+	var missing []string
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		fmt.Fprintf(&b, "\n%d baseline benchmark(s) not in this run: %s\n",
+			len(missing), strings.Join(missing, ", "))
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(&b, "\n## QUALITY DRIFT (fatal)\n\n")
+		for _, f := range failures {
+			fmt.Fprintf(&b, "- %s\n", f)
+		}
+	} else {
+		fmt.Fprintf(&b, "\nAll experiment-quality metrics match the baseline.\n")
+	}
+
+	report := b.String()
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	fmt.Print(report)
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// describeQuality compares one benchmark's metrics and appends fatal
+// drifts to failures. It returns the cell text for the report table.
+func describeQuality(name string, o, c record, tol float64, failures *[]string) string {
+	if len(o.Metrics) == 0 && len(c.Metrics) == 0 {
+		return "no metrics"
+	}
+	if o.Trials != c.Trials {
+		return fmt.Sprintf("trials differ (%d vs %d): metrics informational", o.Trials, c.Trials)
+	}
+	keys := map[string]bool{}
+	for k := range o.Metrics {
+		keys[k] = true
+	}
+	for k := range c.Metrics {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var notes []string
+	ok := 0
+	for _, k := range sorted {
+		ov, inO := o.Metrics[k]
+		cv, inC := c.Metrics[k]
+		switch {
+		case !inO:
+			notes = append(notes, fmt.Sprintf("%s new (%.6g)", k, cv))
+		case !inC && !informational[k]:
+			// A quality metric vanishing from a benchmark that DID run
+			// is the same class of regression as a drifted value: the
+			// simulator (or the bench) stopped producing the result.
+			notes = append(notes, fmt.Sprintf("**%s gone (was %.6g)**", k, ov))
+			*failures = append(*failures,
+				fmt.Sprintf("%s: quality metric %s disappeared (baseline had %.6g)", name, k, ov))
+		case !inC:
+			notes = append(notes, fmt.Sprintf("%s gone (was %.6g, info)", k, ov))
+		case informational[k]:
+			if ov != cv {
+				notes = append(notes, fmt.Sprintf("%s %g → %g (info)", k, ov, cv))
+			} else {
+				ok++
+			}
+		case math.Abs(ov-cv) > tol:
+			notes = append(notes, fmt.Sprintf("**%s %.6g → %.6g**", k, ov, cv))
+			*failures = append(*failures,
+				fmt.Sprintf("%s: %s drifted %.6g → %.6g (|Δ|=%.3g > tol %.3g)",
+					name, k, ov, cv, math.Abs(ov-cv), tol))
+		default:
+			ok++
+		}
+	}
+	if len(notes) == 0 {
+		return fmt.Sprintf("%d metric(s) match", ok)
+	}
+	return strings.Join(notes, "; ")
+}

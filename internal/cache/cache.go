@@ -10,13 +10,22 @@
 // performance-counter tables).
 //
 // Addresses are handled as line numbers: physical address >> log2(lineSize).
-// The set index is lineNumber mod sets; the tag is lineNumber / sets. For
-// the paper's 32 KiB 8-way 64-set L1D, virtual and physical index bits
-// coincide (VIPT), which internal/mem depends on.
+// The set index is lineNumber mod sets; the tag is lineNumber / sets. Set
+// counts must be powers of two (every geometry in the paper is), so both
+// reduce to a mask and a shift. For the paper's 32 KiB 8-way 64-set L1D,
+// virtual and physical index bits coincide (VIPT), which internal/mem
+// depends on.
+//
+// Access and install are allocation-free: lines live in one contiguous
+// slab, replacement state in a packed replacement.SetArray, and the
+// per-requestor counter table is pre-sized. The experiment engine runs
+// this method hundreds of millions of times per sweep; alloc_test.go
+// pins 0 allocs/op for both the hit and the miss path.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/replacement"
 	"repro/internal/rng"
@@ -37,7 +46,7 @@ const (
 // Config parameterizes a cache level.
 type Config struct {
 	Name     string
-	Sets     int
+	Sets     int // must be a power of two
 	Ways     int
 	LineSize int // bytes; must be a power of two
 
@@ -64,6 +73,9 @@ type Config struct {
 func (c Config) validate() error {
 	if c.Sets < 1 || c.Ways < 1 {
 		return fmt.Errorf("cache %q: sets and ways must be >= 1 (got %d, %d)", c.Name, c.Sets, c.Ways)
+	}
+	if c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d is not a power of two", c.Name, c.Sets)
 	}
 	if c.LineSize < 1 || c.LineSize&(c.LineSize-1) != 0 {
 		return fmt.Errorf("cache %q: line size %d is not a power of two", c.Name, c.LineSize)
@@ -128,11 +140,24 @@ type line struct {
 	owner  int
 }
 
+// reqStatsPrealloc is the initial per-requestor counter capacity. The
+// experiments use a handful of small ids (sender, receiver, noise
+// threads); pre-sizing keeps reqStats off the allocator on the hot path.
+const reqStatsPrealloc = 8
+
 // Cache is one level of set-associative cache.
 type Cache struct {
-	cfg      Config
-	sets     [][]line
-	policies []replacement.Policy
+	cfg Config
+
+	// lines is the contiguous line slab: the line at (set, way) lives
+	// at lines[set*ways+way].
+	lines []line
+	// repl holds the packed replacement state of every set.
+	repl *replacement.SetArray
+
+	setMask  uint64 // sets-1
+	setShift uint   // log2(sets)
+	ways     int
 
 	stats  Stats
 	perReq []Stats
@@ -144,14 +169,15 @@ func New(cfg Config) *Cache {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg}
-	c.sets = make([][]line, cfg.Sets)
-	c.policies = make([]replacement.Policy, cfg.Sets)
-	for s := range c.sets {
-		c.sets[s] = make([]line, cfg.Ways)
-		c.policies[s] = replacement.New(cfg.Policy, cfg.Ways, cfg.RNG)
+	return &Cache{
+		cfg:      cfg,
+		lines:    make([]line, cfg.Sets*cfg.Ways),
+		repl:     replacement.NewSetArray(cfg.Policy, cfg.Sets, cfg.Ways, cfg.RNG),
+		setMask:  uint64(cfg.Sets - 1),
+		setShift: uint(bits.TrailingZeros64(uint64(cfg.Sets))),
+		ways:     cfg.Ways,
+		perReq:   make([]Stats, 0, reqStatsPrealloc),
 	}
-	return c
 }
 
 // Config returns the configuration the cache was built with.
@@ -165,15 +191,20 @@ func (c *Cache) Ways() int { return c.cfg.Ways }
 
 // SetIndex returns the set that physLine maps to.
 func (c *Cache) SetIndex(physLine uint64) int {
-	return int(physLine % uint64(c.cfg.Sets))
+	return int(physLine & c.setMask)
 }
 
 func (c *Cache) tagOf(physLine uint64) uint64 {
-	return physLine / uint64(c.cfg.Sets)
+	return physLine >> c.setShift
 }
 
 func (c *Cache) lineNumber(set int, tag uint64) uint64 {
-	return tag*uint64(c.cfg.Sets) + uint64(set)
+	return tag<<c.setShift | uint64(set)
+}
+
+// set returns the line slab row for one set.
+func (c *Cache) set(set int) []line {
+	return c.lines[set*c.ways : set*c.ways+c.ways]
 }
 
 // utagHash models the linear-address micro-tag hash of the AMD L1 way
@@ -200,10 +231,9 @@ func (c *Cache) Access(req Request) Result {
 	if req.Requestor < 0 {
 		panic("cache: negative requestor")
 	}
-	set := c.SetIndex(req.PhysLine)
-	tag := c.tagOf(req.PhysLine)
-	pol := c.policies[set]
-	lines := c.sets[set]
+	set := int(req.PhysLine & c.setMask)
+	tag := req.PhysLine >> c.setShift
+	lines := c.set(set)
 
 	c.stats.Accesses++
 	rs := c.reqStats(req.Requestor)
@@ -232,7 +262,7 @@ func (c *Cache) Access(req Request) Result {
 		// untouched so the LRU channel cannot be modulated through
 		// protected lines.
 		if !(c.cfg.LockReplacementState && ln.locked) {
-			pol.OnAccess(w)
+			c.repl.Touch(set, w)
 		}
 		c.applyLockOp(ln, req.Op)
 		return res
@@ -251,7 +281,7 @@ func (c *Cache) Access(req Request) Result {
 		}
 	}
 
-	victim := pol.Victim()
+	victim := c.repl.Victim(set)
 	if c.cfg.PartitionLocked && lines[victim].locked {
 		// Figure 10, left branch: victim locked, handle uncached.
 		c.stats.Bypasses++
@@ -261,7 +291,7 @@ func (c *Cache) Access(req Request) Result {
 			// Original PL design: the replacement state of the
 			// victim is still updated, which is precisely the leak
 			// demonstrated in Figure 11 (top).
-			pol.OnAccess(victim)
+			c.repl.Touch(set, victim)
 		}
 		return res
 	}
@@ -280,7 +310,7 @@ func (c *Cache) Access(req Request) Result {
 
 // install writes the line into (set, way) and updates replacement state.
 func (c *Cache) install(set, way int, tag uint64, req Request) {
-	ln := &c.sets[set][way]
+	ln := &c.lines[set*c.ways+way]
 	ln.valid = true
 	ln.tag = tag
 	ln.locked = false
@@ -288,11 +318,7 @@ func (c *Cache) install(set, way int, tag uint64, req Request) {
 	if c.cfg.TrackUtags {
 		ln.utag = utagHash(req.LinearLine)
 	}
-	pol := c.policies[set]
-	pol.OnAccess(way)
-	if f, ok := pol.(interface{ Filled(way int) }); ok {
-		f.Filled(way)
-	}
+	c.repl.Fill(set, way)
 	c.applyLockOp(ln, req.Op)
 }
 
@@ -310,7 +336,7 @@ func (c *Cache) applyLockOp(ln *line, op Op) {
 func (c *Cache) Contains(physLine uint64) bool {
 	set := c.SetIndex(physLine)
 	tag := c.tagOf(physLine)
-	for _, ln := range c.sets[set] {
+	for _, ln := range c.set(set) {
 		if ln.valid && ln.tag == tag {
 			return true
 		}
@@ -322,7 +348,7 @@ func (c *Cache) Contains(physLine uint64) bool {
 func (c *Cache) IsLocked(physLine uint64) bool {
 	set := c.SetIndex(physLine)
 	tag := c.tagOf(physLine)
-	for _, ln := range c.sets[set] {
+	for _, ln := range c.set(set) {
 		if ln.valid && ln.tag == tag {
 			return ln.locked
 		}
@@ -337,8 +363,9 @@ func (c *Cache) IsLocked(physLine uint64) bool {
 func (c *Cache) Flush(physLine uint64) bool {
 	set := c.SetIndex(physLine)
 	tag := c.tagOf(physLine)
-	for w := range c.sets[set] {
-		ln := &c.sets[set][w]
+	lines := c.set(set)
+	for w := range lines {
+		ln := &lines[w]
 		if ln.valid && ln.tag == tag {
 			ln.valid = false
 			ln.locked = false
@@ -351,12 +378,17 @@ func (c *Cache) Flush(physLine uint64) bool {
 // InvalidateAll clears every line and resets replacement state, returning
 // the cache to power-on conditions. Counters are preserved.
 func (c *Cache) InvalidateAll() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
-		c.policies[s].Reset()
-	}
+	clear(c.lines)
+	c.repl.Reset()
+}
+
+// Reset returns the cache to full power-on state: lines invalidated,
+// replacement state at its reset value, and all counters zeroed. Trial
+// loops reuse one cache through Reset instead of reconstructing it —
+// construction is the dominant allocation cost of a simulated machine.
+func (c *Cache) Reset() {
+	c.InvalidateAll()
+	c.ResetStats()
 }
 
 // ResetStats zeroes all counters.
@@ -381,12 +413,12 @@ func (c *Cache) RequestorStats(requestor int) Stats {
 // PolicyState renders the replacement state of one set, for traces and the
 // Table I study.
 func (c *Cache) PolicyState(set int) string {
-	return c.policies[set].StateString()
+	return c.repl.StateString(set)
 }
 
 // VictimOf reports which way the policy would evict next in the given set
 // (read-only for deterministic policies).
-func (c *Cache) VictimOf(set int) int { return c.policies[set].Victim() }
+func (c *Cache) VictimOf(set int) int { return c.repl.Victim(set) }
 
 // SetOccupancy returns the physical line numbers currently valid in a set,
 // indexed by way; invalid ways carry ok=false.
@@ -398,7 +430,7 @@ func (c *Cache) SetOccupancy(set int) []struct {
 		Line uint64
 		OK   bool
 	}, c.cfg.Ways)
-	for w, ln := range c.sets[set] {
+	for w, ln := range c.set(set) {
 		if ln.valid {
 			out[w].Line = c.lineNumber(set, ln.tag)
 			out[w].OK = true

@@ -22,6 +22,7 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 	for name, cfg := range map[string]Config{
 		"zero sets":     {Sets: 0, Ways: 8, LineSize: 64},
 		"zero ways":     {Sets: 64, Ways: 0, LineSize: 64},
+		"npot sets":     {Sets: 48, Ways: 8, LineSize: 64},
 		"npot linesize": {Sets: 64, Ways: 8, LineSize: 48},
 	} {
 		func() {

@@ -142,13 +142,17 @@ func runSequence2(c *cache.Cache, ways int, r *rng.Rand) {
 }
 
 // RunEvictionStudy measures P(line 0 evicted) after each loop iteration of
-// the given sequence under the given initial condition.
+// the given sequence under the given initial condition. One cache is
+// built for the whole study and returned to power-on state between
+// trials — at the paper's 10,000 trials per cell, per-trial machine
+// construction used to dominate the study's allocation profile.
 func RunEvictionStudy(cfg EvictionStudyConfig, cond InitCond, seq Sequence) EvictionStudyResult {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed ^ uint64(cond)<<8 ^ uint64(seq)<<16 ^ uint64(cfg.Policy)<<24)
 	evicted := make([]int, cfg.MaxIterations)
+	c := singleSetCache(cfg, r)
 	for trial := 0; trial < cfg.Trials; trial++ {
-		c := singleSetCache(cfg, r)
+		c.Reset()
 		warmUp(c, cond, cfg.Ways, r)
 		for it := 0; it < cfg.MaxIterations; it++ {
 			switch seq {

@@ -88,6 +88,13 @@ func (o Options) workers() int {
 	return DefaultWorkers()
 }
 
+// ResolvedWorkers reports the pool size Run will actually use (before
+// the cap to the job count): Workers when positive, otherwise the
+// session default. Benchmarks record this — not the requested value —
+// so a "workers=all" measurement taken on a single-core runner is
+// visibly a 1-worker run in the emitted results.
+func (o Options) ResolvedWorkers() int { return o.workers() }
+
 // Run executes jobs over the worker pool and returns one Result per
 // job, in submission order. The output is independent of the worker
 // count provided each job is deterministic in its seed.

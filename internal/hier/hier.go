@@ -113,6 +113,17 @@ type Result struct {
 	PrefetchIssued bool
 }
 
+// stridePref is the per-requestor stride-detector state of
+// PrefetchStride: the last missing line, the last observed stride, and
+// whether a miss has been seen at all. It lives in a small slice indexed
+// by requestor id (ids are tiny: sender, receiver, a few noise threads)
+// so the per-miss update never touches a map or the allocator.
+type stridePref struct {
+	lastMiss uint64
+	stride   int64
+	seen     bool
+}
+
 // Hierarchy is the assembled memory system.
 type Hierarchy struct {
 	cfg Config
@@ -122,15 +133,17 @@ type Hierarchy struct {
 
 	llcLatency int
 
-	// Per-requestor last miss line and stride, for PrefetchStride.
-	lastMiss map[int]uint64
-	stride   map[int]int64
+	// Per-requestor stride-prefetcher state, grown on demand.
+	pref []stridePref
 }
+
+// prefPrealloc matches the cache's per-requestor counter pre-sizing.
+const prefPrealloc = 8
 
 // New builds the hierarchy described by cfg.
 func New(cfg Config) *Hierarchy {
 	p := cfg.Profile
-	h := &Hierarchy{cfg: cfg, lastMiss: map[int]uint64{}, stride: map[int]int64{}}
+	h := &Hierarchy{cfg: cfg, pref: make([]stridePref, 0, prefPrealloc)}
 	h.l1 = cache.New(cache.Config{
 		Name: "L1D", Sets: p.L1Sets, Ways: p.L1Ways, LineSize: p.LineSize,
 		Policy: cfg.L1Policy, RNG: cfg.RNG,
@@ -230,29 +243,27 @@ func (h *Hierarchy) load(addr mem.Addr, requestor int, op cache.Op, allowPrefetc
 // they never recursively trigger further prefetches, and like real hardware
 // prefetchers they never cross a 4 KiB page boundary.
 func (h *Hierarchy) maybePrefetch(miss mem.Addr, requestor int) bool {
-	samePage := func(next uint64) bool {
-		return next/mem.PageSize == miss.Phys/mem.PageSize
-	}
 	switch h.cfg.Prefetcher {
 	case PrefetchNextLine:
 		next := mem.Addr{
 			Virt: miss.Virt + uint64(h.cfg.Profile.LineSize), Phys: miss.Phys + uint64(h.cfg.Profile.LineSize),
 			VirtLine: miss.VirtLine + 1, PhysLine: miss.PhysLine + 1,
 		}
-		if !samePage(next.Phys) {
+		if !samePage(next.Phys, miss.Phys) {
 			return false
 		}
 		h.load(next, requestor, cache.OpLoad, false)
 		return true
 	case PrefetchStride:
-		last, seen := h.lastMiss[requestor]
-		h.lastMiss[requestor] = miss.PhysLine
+		p := h.prefState(requestor)
+		last, seen := p.lastMiss, p.seen
+		p.lastMiss, p.seen = miss.PhysLine, true
 		if !seen {
 			return false
 		}
 		stride := int64(miss.PhysLine) - int64(last)
-		prev := h.stride[requestor]
-		h.stride[requestor] = stride
+		prev := p.stride
+		p.stride = stride
 		if stride == 0 || stride != prev {
 			return false
 		}
@@ -262,7 +273,7 @@ func (h *Hierarchy) maybePrefetch(miss mem.Addr, requestor int) bool {
 			VirtLine: uint64(int64(miss.VirtLine) + stride),
 			PhysLine: uint64(int64(miss.PhysLine) + stride),
 		}
-		if !samePage(next.Phys) {
+		if !samePage(next.Phys, miss.Phys) {
 			return false
 		}
 		h.load(next, requestor, cache.OpLoad, false)
@@ -270,6 +281,21 @@ func (h *Hierarchy) maybePrefetch(miss mem.Addr, requestor int) bool {
 	default:
 		return false
 	}
+}
+
+// samePage reports whether two physical byte addresses share a 4 KiB
+// page — hardware prefetchers never cross one.
+func samePage(a, b uint64) bool {
+	return a/mem.PageSize == b/mem.PageSize
+}
+
+// prefState returns the stride-detector slot for one requestor, growing
+// the table on first sight of a new id.
+func (h *Hierarchy) prefState(requestor int) *stridePref {
+	for len(h.pref) <= requestor {
+		h.pref = append(h.pref, stridePref{})
+	}
+	return &h.pref[requestor]
 }
 
 // Flush removes the physical line from every level (the clflush model of
@@ -305,6 +331,21 @@ func (h *Hierarchy) ResetStats() {
 	if h.llc != nil {
 		h.llc.ResetStats()
 	}
+}
+
+// Reset returns the whole hierarchy to power-on state: every level's
+// lines, replacement state and counters, plus the prefetcher's stride
+// detectors. Trial loops can re-run an experiment cell on one machine
+// instead of reconstructing the hierarchy (construction, not simulation,
+// is where a cell's allocations live).
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	if h.llc != nil {
+		h.llc.Reset()
+	}
+	clear(h.pref)
+	h.pref = h.pref[:0]
 }
 
 // Warm loads addr until it resides in L1 (two loads suffice: the first

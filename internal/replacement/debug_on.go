@@ -1,0 +1,8 @@
+//go:build lruleakdebug
+
+package replacement
+
+// debugChecks is enabled by the lruleakdebug build tag: every packed
+// SetArray access verifies its set and way indices and panics with a
+// descriptive message instead of a raw slice bounds failure.
+const debugChecks = true

@@ -8,6 +8,13 @@
 // One Policy instance tracks the access history of a single cache set. The
 // containing cache is responsible for filling invalid ways first; a Policy
 // is only consulted for a victim when the set is full.
+//
+// internal/cache's hot path does not run on Policy instances: it uses the
+// packed SetArray, which stores the state of every set of a cache in
+// contiguous slices and dispatches directly on Kind. The Policy interface
+// and its per-set implementations remain the reference semantics and the
+// thin adapter for tests, traces, and the per-domain DAWG partitions; the
+// equivalence fuzz target keeps the two in lock-step.
 package replacement
 
 import (
@@ -121,6 +128,9 @@ func New(kind Kind, ways int, r *rng.Rand) Policy {
 	}
 }
 
+// checkWay guards the per-set Policy implementations — the adapter path
+// used by tests, traces and the DAWG partitions. The packed SetArray
+// hot path omits this check unless built with -tags lruleakdebug.
 func checkWay(way, ways int) {
 	if way < 0 || way >= ways {
 		panic(fmt.Sprintf("replacement: way %d out of range [0,%d)", way, ways))

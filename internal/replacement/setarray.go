@@ -1,0 +1,304 @@
+package replacement
+
+import (
+	"math/bits"
+	"strconv"
+
+	"repro/internal/rng"
+)
+
+// SetArray is the packed, allocation-free replacement-state store behind
+// internal/cache: the state of EVERY set of a cache lives in one or two
+// contiguous slices, one machine word (or one byte-vector row) per set,
+// and updates dispatch directly on the policy Kind — no per-set heap
+// object, no interface call, no bounds-check panic on the hot path (see
+// debug_off.go for the build-tag-gated checks).
+//
+// Packing, per family (Section II-B of the paper):
+//
+//	Tree-PLRU  one uint64 per set; bit i is heap node i of the PLRU tree
+//	           (ways-1 node bits, root at bit 0, children of i at 2i+1
+//	           and 2i+2).
+//	Bit-PLRU   one uint64 per set; bit w is way w's MRU bit.
+//	True LRU   a packed age vector: one byte per way in a sets×ways slab,
+//	           age 0 = most recently used, ways-1 = LRU victim.
+//	FIFO       one uint64 per set holding the round-robin next pointer.
+//	Random     stateless; victims are drawn from the generator.
+//
+// The per-set Policy implementations in this package remain the
+// reference semantics; a SetArray must behave, set for set, exactly like
+// an array of New(kind, ways, r) instances driven through the same
+// Touch/Fill/Victim sequence (the equivalence fuzz target pins this).
+type SetArray struct {
+	kind Kind
+	sets int
+	ways int
+
+	// words holds the packed per-set word for Tree-PLRU, Bit-PLRU and
+	// FIFO; it is nil for True-LRU and Random.
+	words []uint64
+	// ages is the True-LRU sets×ways age slab; nil for the other kinds.
+	ages []uint8
+
+	depth int       // log2(ways), Tree-PLRU victim/update walk length
+	full  uint64    // Bit-PLRU all-ways-set mask
+	r     *rng.Rand // Random victim source
+}
+
+// NewSetArray builds packed replacement state for sets sets of the given
+// associativity. It enforces the same constructor contract as New: ways
+// must be >= 1, Tree-PLRU needs a power-of-two associativity, and Random
+// needs a generator. The packed encodings additionally require ways <=
+// 64 (one bit per way in a word), far above any cache modelled here.
+func NewSetArray(kind Kind, sets, ways int, r *rng.Rand) *SetArray {
+	if sets < 1 {
+		panic("replacement: sets must be >= 1")
+	}
+	if ways < 1 {
+		panic("replacement: ways must be >= 1")
+	}
+	if ways > 64 {
+		panic("replacement: packed state supports at most 64 ways")
+	}
+	a := &SetArray{kind: kind, sets: sets, ways: ways}
+	switch kind {
+	case TrueLRU:
+		a.ages = make([]uint8, sets*ways)
+	case TreePLRU:
+		if ways&(ways-1) != 0 {
+			panic("replacement: Tree-PLRU requires power-of-two associativity")
+		}
+		for 1<<a.depth < ways {
+			a.depth++
+		}
+		a.words = make([]uint64, sets)
+	case BitPLRU:
+		a.full = 1<<uint(ways) - 1
+		a.words = make([]uint64, sets)
+	case FIFO:
+		a.words = make([]uint64, sets)
+	case Random:
+		if r == nil {
+			panic("replacement: Random policy requires a generator")
+		}
+		a.r = r
+	default:
+		panic("replacement: unknown kind")
+	}
+	a.Reset()
+	return a
+}
+
+// Kind returns the policy family the array implements.
+func (a *SetArray) Kind() Kind { return a.kind }
+
+// Sets returns the number of sets the array tracks.
+func (a *SetArray) Sets() int { return a.sets }
+
+// Ways returns the associativity.
+func (a *SetArray) Ways() int { return a.ways }
+
+// Touch records a USE of (set, way): the hit-path OnAccess. FIFO and
+// Random state is insensitive to uses.
+func (a *SetArray) Touch(set, way int) {
+	if debugChecks {
+		checkSet(set, a.sets)
+		checkWay(way, a.ways)
+	}
+	switch a.kind {
+	case TreePLRU:
+		a.touchTree(set, way)
+	case BitPLRU:
+		a.touchBit(set, way)
+	case TrueLRU:
+		a.touchLRU(set, way)
+	}
+}
+
+// Fill records a line INSTALL into (set, way): the use update of Touch
+// plus, for FIFO, the round-robin pointer advance the cache used to
+// signal through the Filled side interface.
+func (a *SetArray) Fill(set, way int) {
+	if debugChecks {
+		checkSet(set, a.sets)
+		checkWay(way, a.ways)
+	}
+	switch a.kind {
+	case TreePLRU:
+		a.touchTree(set, way)
+	case BitPLRU:
+		a.touchBit(set, way)
+	case TrueLRU:
+		a.touchLRU(set, way)
+	case FIFO:
+		if uint64(way) == a.words[set] {
+			a.words[set] = (a.words[set] + 1) % uint64(a.ways)
+		}
+	}
+}
+
+// Victim returns the way the policy would evict next in set. Like
+// Policy.Victim it does not mutate deterministic state; Random draws
+// from its generator, exactly one draw per consultation.
+func (a *SetArray) Victim(set int) int {
+	if debugChecks {
+		checkSet(set, a.sets)
+	}
+	switch a.kind {
+	case TreePLRU:
+		return a.victimTree(set)
+	case BitPLRU:
+		return a.victimBit(set)
+	case TrueLRU:
+		return a.victimLRU(set)
+	case FIFO:
+		return int(a.words[set])
+	default: // Random
+		return a.r.Intn(a.ways)
+	}
+}
+
+func (a *SetArray) touchTree(set, way int) {
+	if a.ways == 1 {
+		return
+	}
+	w := a.words[set]
+	node := 0
+	// Walk root to leaf; at level l the direction into way's subtree is
+	// bit depth-1-l of way. Each node on the path is set to point AWAY
+	// from way's side (bit 1 = right subtree is LRU).
+	for level := a.depth - 1; level >= 0; level-- {
+		dir := (way >> uint(level)) & 1
+		if dir == 0 {
+			w |= 1 << uint(node)
+		} else {
+			w &^= 1 << uint(node)
+		}
+		node = 2*node + 1 + dir
+	}
+	a.words[set] = w
+}
+
+func (a *SetArray) victimTree(set int) int {
+	if a.ways == 1 {
+		return 0
+	}
+	w := a.words[set]
+	node, way := 0, 0
+	for level := 0; level < a.depth; level++ {
+		dir := int(w >> uint(node) & 1)
+		way = way<<1 | dir
+		node = 2*node + 1 + dir
+	}
+	return way
+}
+
+func (a *SetArray) touchBit(set, way int) {
+	w := a.words[set] | 1<<uint(way)
+	if w == a.full {
+		// Generation rollover: every MRU bit clears, the accessed
+		// way's included (the paper's literal Section II-B wording).
+		w = 0
+	}
+	a.words[set] = w
+}
+
+func (a *SetArray) victimBit(set int) int {
+	// Lowest-indexed way with a clear MRU bit; the rollover guarantees
+	// one exists below ways.
+	v := bits.TrailingZeros64(^a.words[set])
+	if v >= a.ways {
+		return 0 // unreachable: touchBit clears on all-set
+	}
+	return v
+}
+
+func (a *SetArray) touchLRU(set, way int) {
+	row := a.ages[set*a.ways : set*a.ways+a.ways]
+	old := row[way]
+	for i := range row {
+		if row[i] < old {
+			row[i]++
+		}
+	}
+	row[way] = 0
+}
+
+func (a *SetArray) victimLRU(set int) int {
+	row := a.ages[set*a.ways : set*a.ways+a.ways]
+	best, bestAge := 0, -1
+	for w, age := range row {
+		if int(age) > bestAge {
+			best, bestAge = w, int(age)
+		}
+	}
+	return best
+}
+
+// Reset restores every set to its power-on state.
+func (a *SetArray) Reset() {
+	for s := 0; s < a.sets; s++ {
+		a.ResetSet(s)
+	}
+}
+
+// ResetSet restores one set to its power-on state: the same convention
+// as the per-set Policy implementations (True LRU ages way 0 oldest, the
+// packed words all-zero).
+func (a *SetArray) ResetSet(set int) {
+	if debugChecks {
+		checkSet(set, a.sets)
+	}
+	if a.kind == TrueLRU {
+		row := a.ages[set*a.ways : set*a.ways+a.ways]
+		for w := range row {
+			row[w] = uint8(a.ways - 1 - w)
+		}
+		return
+	}
+	if a.words != nil {
+		a.words[set] = 0
+	}
+}
+
+// StateString renders one set's state in the same format as the
+// corresponding Policy implementation, for traces and the Table I study.
+func (a *SetArray) StateString(set int) string {
+	switch a.kind {
+	case TrueLRU:
+		row := a.ages[set*a.ways : set*a.ways+a.ways]
+		buf := make([]byte, 0, 4+3*len(row))
+		buf = append(buf, "age:"...)
+		for w, age := range row {
+			if w > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendUint(buf, uint64(age), 10)
+		}
+		return string(buf)
+	case TreePLRU:
+		buf := make([]byte, 0, 5+a.ways)
+		buf = append(buf, "tree:"...)
+		for i := 0; i < a.ways-1; i++ {
+			buf = append(buf, '0'+byte(a.words[set]>>uint(i)&1))
+		}
+		return string(buf)
+	case BitPLRU:
+		buf := make([]byte, 0, 4+a.ways)
+		buf = append(buf, "mru:"...)
+		for w := 0; w < a.ways; w++ {
+			buf = append(buf, '0'+byte(a.words[set]>>uint(w)&1))
+		}
+		return string(buf)
+	case FIFO:
+		return "fifo:" + strconv.FormatUint(a.words[set], 10)
+	default:
+		return "random"
+	}
+}
+
+func checkSet(set, sets int) {
+	if set < 0 || set >= sets {
+		panic("replacement: set index out of range")
+	}
+}

@@ -1,0 +1,162 @@
+package replacement
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// polArray is the reference twin of a SetArray: one Policy instance per
+// set, driven through the identical Touch/Fill/Victim sequence.
+func polArray(kind Kind, sets, ways int, r *rng.Rand) []Policy {
+	ps := make([]Policy, sets)
+	for s := range ps {
+		ps[s] = New(kind, ways, r)
+	}
+	return ps
+}
+
+func polFill(p Policy, way int) {
+	p.OnAccess(way)
+	if f, ok := p.(interface{ Filled(way int) }); ok {
+		f.Filled(way)
+	}
+}
+
+func TestSetArrayMatchesPoliciesSequential(t *testing.T) {
+	const sets, ways = 4, 8
+	for _, kind := range Kinds() {
+		arr := NewSetArray(kind, sets, ways, rng.New(1))
+		ref := polArray(kind, sets, ways, rng.New(1))
+		// Fill every set sequentially, touch a few ways, fill again.
+		for s := 0; s < sets; s++ {
+			for w := 0; w < ways; w++ {
+				arr.Fill(s, w)
+				polFill(ref[s], w)
+			}
+			arr.Touch(s, 3)
+			ref[s].OnAccess(3)
+			arr.Touch(s, 0)
+			ref[s].OnAccess(0)
+		}
+		for s := 0; s < sets; s++ {
+			if got, want := arr.StateString(s), ref[s].StateString(); got != want {
+				t.Errorf("%v set %d: state %q, policy says %q", kind, s, got, want)
+			}
+			if got, want := arr.Victim(s), ref[s].Victim(); got != want {
+				t.Errorf("%v set %d: victim %d, policy says %d", kind, s, got, want)
+			}
+		}
+	}
+}
+
+func TestSetArraySetsAreIndependent(t *testing.T) {
+	for _, kind := range []Kind{TrueLRU, TreePLRU, BitPLRU, FIFO} {
+		arr := NewSetArray(kind, 8, 8, nil)
+		before := arr.StateString(3)
+		for i := 0; i < 50; i++ {
+			arr.Fill(5, i%8)
+			arr.Touch(6, (i*3)%8)
+		}
+		if arr.StateString(3) != before {
+			t.Errorf("%v: traffic in sets 5/6 changed set 3: %s -> %s",
+				kind, before, arr.StateString(3))
+		}
+	}
+}
+
+func TestSetArrayResetSetMatchesPowerOn(t *testing.T) {
+	for _, kind := range []Kind{TrueLRU, TreePLRU, BitPLRU, FIFO} {
+		fresh := NewSetArray(kind, 2, 8, nil)
+		used := NewSetArray(kind, 2, 8, nil)
+		// Way 0 first so the FIFO pointer actually advances.
+		for _, w := range []int{0, 1, 7, 2, 1, 3} {
+			used.Fill(0, w)
+			used.Fill(1, w)
+		}
+		used.ResetSet(0)
+		if got, want := used.StateString(0), fresh.StateString(0); got != want {
+			t.Errorf("%v: ResetSet(0) -> %q, power-on is %q", kind, got, want)
+		}
+		if used.StateString(1) == fresh.StateString(1) {
+			t.Errorf("%v: ResetSet(0) also reset set 1", kind)
+		}
+	}
+}
+
+func TestNewSetArrayPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero sets":          func() { NewSetArray(TrueLRU, 0, 8, nil) },
+		"zero ways":          func() { NewSetArray(TrueLRU, 4, 0, nil) },
+		"non-pow2 tree":      func() { NewSetArray(TreePLRU, 4, 6, nil) },
+		"random without rng": func() { NewSetArray(Random, 4, 8, nil) },
+		"unknown kind":       func() { NewSetArray(Kind(42), 4, 8, nil) },
+		"too many ways":      func() { NewSetArray(BitPLRU, 4, 65, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// FuzzSetArrayEquivalence drives a packed SetArray and an array of
+// per-set Policy instances through the same event stream and demands
+// bit-identical victims and state renderings after every event — the
+// packed hot path may never drift from the reference semantics. Random
+// uses two generators seeded identically, consulted in lock-step.
+func FuzzSetArrayEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{1, 0x80, 0x81, 0x42, 7, 0xff, 0xc0})
+	f.Add([]byte{2, 0x40, 0x41, 0x00, 0x3f, 0x80, 0xc1, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, trace []byte) {
+		if len(trace) < 2 {
+			return
+		}
+		// Byte 0 picks the associativity (4, 8, 16); each further byte
+		// is one event: bits 0-3 the way, bits 4-5 the set, bits 6-7
+		// the operation (0 touch, 1 fill, 2 reset-set, 3 reset-all).
+		const sets = 4
+		ways := 1 << (2 + int(trace[0])%3)
+		for _, kind := range Kinds() {
+			arr := NewSetArray(kind, sets, ways, rng.New(99))
+			ref := polArray(kind, sets, ways, rng.New(99))
+			for step, b := range trace[1:] {
+				way := int(b&0x0f) % ways
+				set := int(b >> 4 & 0x03)
+				switch b >> 6 {
+				case 0:
+					arr.Touch(set, way)
+					ref[set].OnAccess(way)
+				case 1:
+					arr.Fill(set, way)
+					polFill(ref[set], way)
+				case 2:
+					arr.ResetSet(set)
+					ref[set].Reset()
+				case 3:
+					arr.Reset()
+					for _, p := range ref {
+						p.Reset()
+					}
+				}
+				for s := 0; s < sets; s++ {
+					if got, want := arr.StateString(s), ref[s].StateString(); got != want {
+						t.Fatalf("step %d: %v set %d state %q, policy %q",
+							step, kind, s, got, want)
+					}
+				}
+				// One victim consultation per event keeps the two
+				// Random generators in lock-step.
+				if got, want := arr.Victim(set), ref[set].Victim(); got != want {
+					t.Fatalf("step %d: %v set %d victim %d, policy %d",
+						step, kind, set, got, want)
+				}
+			}
+		}
+	})
+}

@@ -106,6 +106,7 @@ type yieldMsg struct {
 type thread struct {
 	name string
 	req  int
+	idx  int // position in Machine.threads, the scheduler's tie-break
 	fn   func(*Env)
 
 	resume chan struct{}
@@ -127,13 +128,28 @@ type thread struct {
 type killSentinel struct{}
 
 // Machine owns the threads and the shared hierarchy and advances time.
+//
+// The hot path is charge: every simulated action suspends the acting
+// program for its cycle cost. Parking a goroutine and waking the
+// scheduler costs two channel handoffs — three orders of magnitude more
+// than the simulated cache access itself — so charge applies the cost
+// inline and only parks when the scheduling decision could actually
+// change (another thread is further behind, the time slice or the wall
+// limit is exhausted, or the machine was stopped). The action order, and
+// therefore every RNG draw and cache update, is bit-identical to the
+// park-on-every-action implementation; the determinism and golden tests
+// pin this.
 type Machine struct {
 	cfg     Config
 	threads []*thread
 	clock   uint64 // time-sliced core clock; under SMT, max of readyWalls
-	ran     bool
-	closed  bool
-	stopped bool
+	limit   uint64 // Run's wall-clock limit, visible to charge's fast path
+	// sliceEnd is the end of the current time slice (time-sliced mode),
+	// visible to charge so a short action can be consumed inline.
+	sliceEnd uint64
+	ran      bool
+	closed   bool
+	stopped  bool
 }
 
 // New creates a machine. Hier, TSC and RNG must be non-nil.
@@ -152,7 +168,7 @@ func (m *Machine) AddThread(name string, req int, fn func(*Env)) {
 		panic("sched: AddThread after Run")
 	}
 	m.threads = append(m.threads, &thread{
-		name: name, req: req, fn: fn,
+		name: name, req: req, idx: len(m.threads), fn: fn,
 		resume: make(chan struct{}),
 		yield:  make(chan yieldMsg, 1),
 	})
@@ -166,6 +182,7 @@ func (m *Machine) Run(limit uint64) {
 		panic("sched: Run called twice")
 	}
 	m.ran = true
+	m.limit = limit
 	switch m.cfg.Mode {
 	case SMT:
 		m.runSMT(limit)
@@ -226,8 +243,13 @@ func (m *Machine) threadNow(t *thread) uint64 {
 	return t.readyWall
 }
 
+// runSMT resumes the runnable thread whose clock is furthest behind.
+// Action costs (including the SMT jitter draw) are applied by charge at
+// the moment each action completes; a thread only parks — and control
+// only returns here — when it is no longer the thread this loop would
+// pick, so a burst of consecutive actions by one hyper-thread costs one
+// goroutine handoff instead of one per action.
 func (m *Machine) runSMT(limit uint64) {
-	jitter := m.cfg.SMTJitter
 	for {
 		// Pick the runnable thread whose clock is furthest behind.
 		var t *thread
@@ -242,17 +264,26 @@ func (m *Machine) runSMT(limit uint64) {
 		if t == nil || t.readyWall >= limit || m.stopped {
 			return
 		}
-		msg := m.step(t)
-		if msg.done {
+		if m.step(t).done {
 			t.done = true
+		}
+	}
+}
+
+// wouldResumeSMT reports whether the SMT scheduler's pick — the
+// lowest-indexed runnable thread with the smallest readyWall — would be
+// t again. charge's fast path keeps t running exactly when this holds,
+// which reproduces runSMT's selection order action for action.
+func (m *Machine) wouldResumeSMT(t *thread) bool {
+	for _, c := range m.threads {
+		if c == t || c.done {
 			continue
 		}
-		c := float64(msg.cycles)
-		if jitter > 0 && msg.cycles > 0 {
-			c *= 1 + jitter*m.cfg.RNG.Float64()
+		if c.readyWall < t.readyWall || (c.readyWall == t.readyWall && c.idx < t.idx) {
+			return false
 		}
-		t.readyWall += uint64(c + 0.5)
 	}
+	return true
 }
 
 func (m *Machine) runTimeSliced(limit uint64) {
@@ -260,7 +291,7 @@ func (m *Machine) runTimeSliced(limit uint64) {
 		return
 	}
 	owner := 0
-	sliceEnd := m.clock + m.cfg.Quantum
+	m.sliceEnd = m.clock + m.cfg.Quantum
 	rotate := func() {
 		for i := 1; i <= len(m.threads); i++ {
 			n := (owner + i) % len(m.threads)
@@ -272,7 +303,7 @@ func (m *Machine) runTimeSliced(limit uint64) {
 				break
 			}
 		}
-		sliceEnd = m.clock + m.cfg.Quantum
+		m.sliceEnd = m.clock + m.cfg.Quantum
 	}
 	for m.clock < limit && !m.stopped {
 		t := m.threads[owner]
@@ -302,12 +333,12 @@ func (m *Machine) runTimeSliced(limit uint64) {
 			}
 		}
 		run := t.pendingBusy
-		if avail := sliceEnd - m.clock; run > avail {
+		if avail := m.sliceEnd - m.clock; run > avail {
 			run = avail
 		}
 		m.clock += run
 		t.pendingBusy -= run
-		if m.clock >= sliceEnd {
+		if m.clock >= m.sliceEnd {
 			rotate()
 		}
 	}
@@ -340,10 +371,47 @@ type Env struct {
 	t *thread
 }
 
-// charge suspends the program for c cycles of CPU time.
+// charge accounts c cycles of CPU time to the program. This is the
+// simulator's hottest function: it runs once per simulated action,
+// hundreds of millions of times per sweep.
+//
+// Fast path: the cost is applied inline — including the SMT jitter
+// draw, taken at exactly the point in the global RNG order where the
+// scheduler used to take it — and the program simply keeps running
+// whenever the scheduler would have picked this same thread again
+// (SMT: still the furthest-behind thread; time-sliced: the action fits
+// inside the current slice). Only when the scheduling decision could
+// change does the goroutine park and hand control back to the
+// scheduler loop, so the two-channel-handoff cost is paid per
+// interleaving point, not per action. The resulting action order is
+// identical to parking on every action.
 func (e *Env) charge(c uint64) {
-	e.t.yield <- yieldMsg{cycles: c}
-	if _, ok := <-e.t.resume; !ok {
+	m, t := e.m, e.t
+	if m.cfg.Mode == SMT {
+		// Apply the jittered cost exactly as runSMT's collection point
+		// used to: same condition, same float arithmetic, same draw.
+		cost := float64(c)
+		if m.cfg.SMTJitter > 0 && c > 0 {
+			cost *= 1 + m.cfg.SMTJitter*m.cfg.RNG.Float64()
+		}
+		t.readyWall += uint64(cost + 0.5)
+		t.wallNow = t.readyWall
+		if !m.stopped && t.readyWall < m.limit && m.wouldResumeSMT(t) {
+			return
+		}
+	} else {
+		n := c
+		if n == 0 {
+			n = 1 // every action takes at least a cycle
+		}
+		if !m.stopped && m.clock+n < m.sliceEnd && m.clock+n < m.limit {
+			m.clock += n
+			t.wallNow = m.clock
+			return
+		}
+	}
+	t.yield <- yieldMsg{cycles: c}
+	if _, ok := <-t.resume; !ok {
 		panic(killSentinel{})
 	}
 }

@@ -56,6 +56,21 @@ func NewDAWGWithPolicy(sets, ways, domains int, pol replacement.Kind) *DAWGCache
 	return d
 }
 
+// Reset returns every partition to power-on state: all lines invalid,
+// every domain's replacement policy at its reset value. Trial loops
+// reuse one DAWGCache through Reset instead of reconstructing the
+// sets × domains policy matrix per trial.
+func (d *DAWGCache) Reset() {
+	for s := range d.lines {
+		for w := range d.lines[s] {
+			d.lines[s][w] = dawgLine{}
+		}
+		for _, p := range d.policies[s] {
+			p.Reset()
+		}
+	}
+}
+
 // Access performs a load by `domain`. Lookups search only the domain's own
 // ways (DAWG partitions hits too — a cross-domain hit would itself be a
 // channel), and replacement state updates stay inside the domain.
@@ -118,8 +133,9 @@ func (d *DAWGCache) PolicyState(set, domain int) string {
 func DAWGLeakExperiment(trials int, seed uint64) float64 {
 	r := newSeededRand(seed)
 	ok := 0
+	d := NewDAWG(64, 8, 2)
 	for trial := 0; trial < trials; trial++ {
-		d := NewDAWG(64, 8, 2)
+		d.Reset()
 		const set = 5
 		line := func(i int) uint64 { return uint64(i)*64 + set }
 		ways := 4 // receiver's partition size

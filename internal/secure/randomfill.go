@@ -89,8 +89,16 @@ func (c *RandomFillCache) Inner() *cache.Cache { return c.inner }
 func RandomFillLeakExperiment(trials, missesPerTrial int, seed uint64) (correct float64) {
 	r := rng.New(seed)
 	ok := 0
+	// One inner cache for all trials, Reset between them; the per-trial
+	// split generator keeps the fill-randomness stream identical to the
+	// construct-per-trial formulation.
+	inner := cache.New(cache.Config{
+		Name: "RF-L1D", Sets: 64, Ways: 8, LineSize: 64,
+		Policy: replacement.TreePLRU,
+	})
 	for trial := 0; trial < trials; trial++ {
-		c := NewRandomFill(64, 8, 16, r.Split())
+		inner.Reset()
+		c := &RandomFillCache{inner: inner, r: r.Split(), Window: 16}
 		const set = 5
 		line := func(i int) uint64 { return uint64(i)*64 + set }
 		// Receiver init (all hits after the first pass): lines 0..7
