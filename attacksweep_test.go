@@ -72,6 +72,140 @@ func TestAttackSweepGridShape(t *testing.T) {
 	}
 }
 
+// The d-split partial prime at d=1 — the paper's Figure 11 operating
+// point — must separate the PL-cache variants in the pinned matrix:
+// the original design leaks above chance, the fixed design sits at
+// chance. The canonical full prime (attacksweep.golden) cannot tell
+// them apart; this golden is the key-recovery restating of Figure 11.
+func TestDSplitSweepGoldenPinned(t *testing.T) {
+	spec := AttackSpec{
+		Victims:  []string{"ttable"},
+		Policies: []ReplacementKind{TreePLRU},
+		Defenses: []AttackDefense{attack.DefenseNone, attack.DefensePLCache, attack.DefensePLCacheFixed},
+		Probes:   []AttackProbe{attack.ProbeDSplit(1)},
+		Symbols:  6,
+		Trials:   3,
+	}
+	cells := AttackSweep(spec, goldenSeed, RunOptions{Workers: 1})
+	want := RenderAttackSweep(cells)
+	checkGolden(t, "probesweep", want)
+
+	if got := RenderAttackSweep(AttackSweep(spec, goldenSeed, RunOptions{Workers: 4})); got != want {
+		t.Error("d-split sweep at Workers=4 diverges from the serial run")
+	}
+
+	byDefense := map[AttackDefense]AttackCell{}
+	for _, c := range cells {
+		byDefense[c.Defense] = c
+	}
+	chance := 8.5 // (16+1)/2 for the T-table's nibble space
+	if base := byDefense[attack.DefenseNone]; base.Recovery.Mean != 1.0 {
+		t.Errorf("baseline d=1 recovery %.2f, want 1.0", base.Recovery.Mean)
+	}
+	if pl := byDefense[attack.DefensePLCache]; pl.Recovery.Mean <= 1.0/16 || pl.Guesses.Mean > 0.7*chance {
+		t.Errorf("plcache d=1 should leak above chance: recovery %.2f, guesses %.1f",
+			pl.Recovery.Mean, pl.Guesses.Mean)
+	}
+	if fix := byDefense[attack.DefensePLCacheFixed]; fix.Recovery.Mean > 0.15 || fix.Guesses.Mean < 0.7*chance {
+		t.Errorf("plcache-fix d=1 should sit at chance: recovery %.2f, guesses %.1f",
+			fix.Recovery.Mean, fix.Guesses.Mean)
+	}
+}
+
+// The scheduled attack — victim and attacker as unsynchronized sched
+// threads — must still recover the demo key on the baseline cache in
+// both sharing modes, pinned alongside the synchronous rows.
+func TestScheduledSweepGoldenPinned(t *testing.T) {
+	spec := AttackSpec{
+		Victims:   []string{"ttable"},
+		Policies:  []ReplacementKind{TrueLRU, TreePLRU},
+		Defenses:  []AttackDefense{attack.DefenseNone},
+		Schedules: []AttackSchedule{attack.ScheduleSync, attack.ScheduleSMT, attack.ScheduleTimeSliced},
+		Symbols:   6,
+		Votes:     8,
+	}
+	cells := AttackSweep(spec, goldenSeed, RunOptions{Workers: 1})
+	want := RenderAttackSweep(cells)
+	checkGolden(t, "schedsweep", want)
+
+	if got := RenderAttackSweep(AttackSweep(spec, goldenSeed, RunOptions{Workers: 4})); got != want {
+		t.Error("scheduled sweep at Workers=4 diverges from the serial run")
+	}
+	for _, c := range cells {
+		if c.Recovery.Mean != 1.0 {
+			t.Errorf("%v/%v: recovery %.2f, want 1.0 (the scheduled attack must survive jitter)",
+				c.Schedule, c.Policy, c.Recovery.Mean)
+		}
+	}
+}
+
+// The vote-overhead study prices scheduling jitter: the scheduled
+// attacks need at least as many votes per symbol as the synchronous
+// baseline, and all three schedules reach full recovery by the
+// ceiling.
+func TestVoteOverheadGoldenPinned(t *testing.T) {
+	rows := VoteOverheadStudy("ttable", TreePLRU, 8, 10, goldenSeed, RunOptions{Workers: 1})
+	want := RenderVoteOverhead(rows)
+	checkGolden(t, "voteoverhead", want)
+
+	votes := map[AttackSchedule]int{}
+	for _, r := range rows {
+		if !r.Recovered {
+			t.Errorf("%v: no full recovery within the vote ceiling", r.Schedule)
+		}
+		votes[r.Schedule] = r.Votes
+	}
+	sync := votes[attack.ScheduleSync]
+	if sync < 1 {
+		t.Fatalf("sync baseline votes = %d", sync)
+	}
+	for _, sc := range []AttackSchedule{attack.ScheduleSMT, attack.ScheduleTimeSliced} {
+		if votes[sc] < sync {
+			t.Errorf("%v needs %d votes, fewer than the sync baseline's %d — jitter cannot help",
+				sc, votes[sc], sync)
+		}
+	}
+}
+
+// The detection threshold sweep: per-defense ROC curves over the
+// cross-eviction criterion, pinned with their AUCs. The semantic
+// anchors: the unprotected attacker is cleanly separable from the
+// benign Figure 9 population (and caught at the deployed threshold
+// with zero false positives), while DAWG's partitioning makes the
+// attacker structurally invisible to the criterion.
+func TestROCSweepGoldenPinned(t *testing.T) {
+	res := ROCSweep(ROCSpec{}, goldenSeed, RunOptions{Workers: 1})
+	want := RenderROC(res)
+	checkGolden(t, "roc", want)
+
+	if got := RenderROC(ROCSweep(ROCSpec{}, goldenSeed, RunOptions{Workers: 8})); got != want {
+		t.Error("ROC sweep at Workers=8 diverges from the serial run")
+	}
+
+	byDefense := map[AttackDefense]DefenseROC{}
+	for _, c := range res.Curves {
+		byDefense[c.Defense] = c
+	}
+	if none := byDefense[attack.DefenseNone]; none.ROC.AUC < 0.9 {
+		t.Errorf("unprotected AUC %.3f, want near-perfect separability", none.ROC.AUC)
+	}
+	if p := byDefense[attack.DefenseNone].ROC.PointAt(res.Deployed); p.TPR != 1.0 || p.FPR != 0.0 {
+		t.Errorf("deployed operating point TPR=%.2f FPR=%.2f, want 1, 0", p.TPR, p.FPR)
+	}
+	if dawg := byDefense[attack.DefenseDAWG]; dawg.ROC.AUC != 0.0 {
+		t.Errorf("DAWG AUC %.3f, want 0 (structurally zero cross-evictions)", dawg.ROC.AUC)
+	}
+	// Monotone curves: lowering the threshold only adds flags.
+	for _, c := range res.Curves {
+		for i := 1; i < len(c.ROC.Points); i++ {
+			a, b := c.ROC.Points[i-1], c.ROC.Points[i]
+			if b.TPR < a.TPR || b.FPR < a.FPR {
+				t.Errorf("%v: curve not monotone at point %d", c.Defense, i)
+			}
+		}
+	}
+}
+
 // Trials must aggregate: a 2-trial cell reports N == 2 and a flagged
 // fraction in [0, 1].
 func TestAttackSweepTrialsAggregate(t *testing.T) {

@@ -522,6 +522,77 @@ func BenchmarkKeyRecovery(b *testing.B) {
 	}
 }
 
+// Scheduled key recovery: the attack run as unsynchronized sched
+// threads (SMT and time-sliced), the regression watch for the
+// scheduler-native attack path. Votes sit above the measured jitter
+// overhead so the quality metric pins full recovery.
+func BenchmarkScheduledKeyRecovery(b *testing.B) {
+	for _, sc := range []attack.Schedule{attack.ScheduleSMT, attack.ScheduleTimeSliced} {
+		b.Run(fmt.Sprintf("schedule=%v", sc), func(b *testing.B) {
+			v, err := victim.ByName("ttable", 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			secret := victim.DemoSecret(v, 8, 42)
+			var rec, guesses float64
+			for i := 0; i < b.N; i++ {
+				res := attack.Run(attack.Config{
+					Victim: v, Policy: replacement.TreePLRU,
+					Schedule: sc, Votes: 8, Seed: uint64(i + 1),
+				}, secret)
+				rec += res.RecoveryRate
+				guesses += res.MeanGuesses
+			}
+			emitBench(b, map[string]float64{
+				"recovery-rate": rec / float64(b.N),
+				"mean-guesses":  guesses / float64(b.N),
+			})
+		})
+	}
+}
+
+// The d-split partial prime against the PL-cache variants: the quality
+// metrics pin the Figure 11 separation (original leaks, fix at
+// chance) that the canonical prime cannot see.
+func BenchmarkDSplitProbe(b *testing.B) {
+	for _, def := range []attack.Defense{attack.DefensePLCache, attack.DefensePLCacheFixed} {
+		b.Run(fmt.Sprintf("defense=%v", def), func(b *testing.B) {
+			v, err := victim.ByName("ttable", 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			secret := victim.DemoSecret(v, 8, 42)
+			var rec, guesses float64
+			for i := 0; i < b.N; i++ {
+				res := attack.Run(attack.Config{
+					Victim: v, Defense: def, Policy: replacement.TreePLRU,
+					Probe: attack.ProbeDSplit(1), Seed: uint64(i + 1),
+				}, secret)
+				rec += res.RecoveryRate
+				guesses += res.MeanGuesses
+			}
+			emitBench(b, map[string]float64{
+				"recovery-rate": rec / float64(b.N),
+				"mean-guesses":  guesses / float64(b.N),
+			})
+		})
+	}
+}
+
+// The detection threshold sweep end to end; the per-defense AUCs are
+// the quality metrics (a drifting AUC means the attacker's or the
+// benign suite's counter profile moved).
+func BenchmarkROCSweep(b *testing.B) {
+	metrics := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		res := ROCSweep(ROCSpec{}, uint64(i+1), RunOptions{})
+		for _, c := range res.Curves {
+			metrics["auc-"+c.Defense.String()] = c.ROC.AUC
+		}
+	}
+	emitBench(b, metrics)
+}
+
 // Detection evasion (Sections VII/X): fraction of runs in which a
 // miss-rate monitor flags the F+R sender but not the LRU sender.
 func BenchmarkDetectionEvasion(b *testing.B) {

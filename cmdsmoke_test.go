@@ -1,0 +1,50 @@
+package lruleak
+
+// Flag-surface smoke test: every cmd/* binary must build and parse its
+// flag set. -h exercises the whole flag table (every default is
+// evaluated and printed), so a mis-declared or colliding flag — the
+// usual casualty of flag churn like lruattack's -schedule/-probe/-roc
+// additions — fails here instead of in a user's terminal.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCommandsParseFlags(t *testing.T) {
+	cmds, err := filepath.Glob(filepath.Join("cmd", "*"))
+	if err != nil || len(cmds) == 0 {
+		t.Fatalf("no cmd/* directories found (err=%v)", err)
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/...")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	for _, dir := range cmds {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(filepath.Join(bin, name), "-h")
+			out, err := cmd.CombinedOutput()
+			// flag.ExitOnError exits 0 on -h (flag.ErrHelp).
+			if err != nil {
+				t.Fatalf("%s -h exited with %v:\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), "Usage") && !strings.Contains(string(out), "-seed") {
+				t.Errorf("%s -h printed no usage text:\n%s", name, out)
+			}
+
+			// An unknown flag must be a clean exit-2 rejection, not a
+			// hang or a panic.
+			cmd = exec.Command(filepath.Join(bin, name), "-definitely-not-a-flag")
+			out, err = cmd.CombinedOutput()
+			if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+				t.Errorf("%s with an unknown flag: err=%v (want exit 2)\n%s", name, err, out)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/perfctr"
 	"repro/internal/replacement"
 	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/uarch"
 	"repro/internal/victim"
@@ -33,6 +34,25 @@ type Config struct {
 	// ProfilingRounds is how many windows per symbol value the
 	// profiling phase collects (default 8).
 	ProfilingRounds int
+	// Probe selects the per-window probe strategy (the zero value is
+	// the canonical full prime; ProbeDSplit(1) is the Figure 11 d=1
+	// partial prime that sees the original PL cache's locked-line
+	// replacement-state update).
+	Probe Probe
+	// Schedule selects how victim and attacker execute: the zero value
+	// is the synchronous attack-driven baseline; ScheduleSMT and
+	// ScheduleTimeSliced run both parties as internal/sched threads,
+	// so probe windows carry real scheduling jitter.
+	Schedule Schedule
+	// SymbolPeriod is the wall-clock cycles the scheduled victim
+	// spends per secret symbol (scheduled modes only; default 16_000
+	// under SMT, 160_000 time-sliced).
+	SymbolPeriod uint64
+	// Quantum overrides the time-sliced scheduler quantum (default
+	// 10_000 — scaled down with SymbolPeriod the same way the covert
+	// channel scales Figure 6; the period/quantum ratio is what
+	// matters).
+	Quantum uint64
 	// Seed drives every random choice (default 0x5eed).
 	Seed uint64
 }
@@ -47,6 +67,16 @@ func (c Config) withDefaults() Config {
 	if c.ProfilingRounds == 0 {
 		c.ProfilingRounds = 8
 	}
+	if c.SymbolPeriod == 0 {
+		if c.Schedule == ScheduleTimeSliced {
+			c.SymbolPeriod = 160_000
+		} else {
+			c.SymbolPeriod = 16_000
+		}
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 10_000
+	}
 	if c.Seed == 0 {
 		c.Seed = 0x5eed
 	}
@@ -58,6 +88,8 @@ type Result struct {
 	VictimName string
 	Defense    Defense
 	Policy     replacement.Kind
+	Probe      Probe
+	Schedule   Schedule
 
 	// Secret and Recovered are the planted and guessed symbol strings.
 	Secret, Recovered []int
@@ -97,6 +129,19 @@ type session struct {
 	lines [][]uint64 // attacker lines per monitored set
 	r     *rng.Rand
 	obs   Observation // reusable probe buffer
+	d     int         // probe split: lines 0..d-1 primed before the victim's window
+	// ref is the d-split strategy's reference mask: the miss pattern of
+	// the last reprime pass, i.e. the set's undisturbed steady orbit.
+	// Observations are reported relative to it (obs XOR ref), which
+	// makes them invariant to which way happens to hold the orbit's
+	// standing hole — pure history — while any victim interference
+	// shows as a nonzero difference.
+	ref Observation
+
+	// latHit/latMiss are the per-access cycle costs charged to a
+	// scheduled thread (profile L1 and L2 latencies; the attack's
+	// working set is L2-resident after warm-up).
+	latHit, latMiss uint64
 
 	windows int
 }
@@ -111,6 +156,9 @@ func newSession(cfg Config, seed uint64) *session {
 		r:    rng.New(seed ^ 0xa77ac4),
 	}
 	ways := s.tg.AttackerWays()
+	s.d = cfg.Probe.split(ways)
+	s.latHit = uint64(cfg.Profile.L1Latency)
+	s.latMiss = uint64(cfg.Profile.L2Latency)
 	totalSets := cfg.Profile.L1Sets
 	s.lines = make([][]uint64, len(s.sets))
 	for i, set := range s.sets {
@@ -120,6 +168,7 @@ func newSession(cfg Config, seed uint64) *session {
 		}
 	}
 	s.obs = make(Observation, len(s.sets))
+	s.ref = make(Observation, len(s.sets))
 
 	s.tg.WarmVictim(s.v.TableLines())
 	// The victim faults in its benign working set, like any program
@@ -128,53 +177,163 @@ func newSession(cfg Config, seed uint64) *session {
 		s.tg.Access(ln, ReqVictim)
 	}
 	// Initial prime, then one settling pass so every monitored set
-	// reaches the protocol's steady state (occupancy and replacement
-	// state canonical) before the first real window. The counters are
-	// then cleared: the detection verdict judges the attack's steady
-	// phase, not the one-off cold fill.
-	s.probe()
-	s.probe()
+	// reaches the protocol's steady state (occupancy and, under the
+	// canonical strategy, replacement state) before the first real
+	// window. The counters are then cleared: the detection verdict
+	// judges the attack's steady phase, not the one-off cold fill.
+	s.pass(0, len(s.lines[0]), nil)
+	s.pass(0, len(s.lines[0]), nil)
 	s.tg.ResetStats()
 	return s
 }
 
-// probe reloads the attacker's lines of every monitored set in fixed
-// order, recording the miss mask per set. The reloads re-prime the set
-// as they go, so probe doubles as the prime step of the next window.
-func (s *session) probe() Observation {
+func (s *session) ways() int { return len(s.lines[0]) }
+
+// access performs one attack-session load, charging its latency to e
+// when the session runs under a scheduled machine (e == nil in the
+// synchronous baseline, where simulated time does not advance).
+func (s *session) access(e *sched.Env, line uint64, req int) bool {
+	hit := s.tg.Access(line, req)
+	if e != nil {
+		if hit {
+			e.Busy(s.latHit)
+		} else {
+			e.Busy(s.latMiss)
+		}
+	}
+	return hit
+}
+
+// pass reloads attacker lines [from, to) of every monitored set in
+// fixed order, recording their miss bits into the reusable observation
+// buffer (bits outside the range are left as they were). The reloads
+// re-prime the touched ways as they go.
+func (s *session) pass(from, to int, e *sched.Env) {
 	for i := range s.sets {
-		var mask uint16
-		for w, ln := range s.lines[i] {
-			if !s.tg.Access(ln, ReqAttacker) {
-				mask |= 1 << uint(w)
+		mask := s.obs[i]
+		for w := from; w < to; w++ {
+			bit := uint16(1) << uint(w)
+			if s.access(e, s.lines[i][w], ReqAttacker) {
+				mask &^= bit
+			} else {
+				mask |= bit
 			}
 		}
 		s.obs[i] = mask
 	}
+}
+
+// prime runs the initialization phase of one window: under the d-split
+// strategy, lines 0..d-1 of every monitored set (their miss bits open
+// this window's mask); under the canonical strategy, nothing — the
+// previous window's full probe pass already re-primed the set.
+func (s *session) prime(e *sched.Env) {
+	if s.d > 0 {
+		s.pass(0, s.d, e)
+	}
+}
+
+// reprime re-references the d-split strategy between vote groups.
+// Because the partial prime never touches every way in one pass, the
+// replacement state settles into per-set orbits whose standing miss —
+// which line is the set's absent one — is pure history: full passes
+// do not move it (under a PL cache the policy's victim is perpetually
+// the locked line, so the hole is literally permanent). Two canonical
+// full passes settle every monitored set back onto its undisturbed
+// orbit and the second pass's miss pattern is recorded as the group's
+// reference mask; the group's observations are reported relative to
+// it. A no-op under the canonical strategy, whose every probe pass
+// re-canonicalizes the state anyway.
+func (s *session) reprime(e *sched.Env) {
+	if s.d == 0 {
+		return
+	}
+	s.pass(0, s.ways(), e)
+	s.pass(0, s.ways(), e)
+	copy(s.ref, s.obs)
+}
+
+// probe runs the decoding phase of one window — the remaining ways
+// (all of them under the canonical strategy) — and returns the
+// completed miss mask. The buffer is reused; callers keep clones.
+func (s *session) probe(e *sched.Env) Observation {
+	s.pass(s.d, s.ways(), e)
 	return s.obs
 }
 
-// window runs one event: the victim processes one secret symbol, then
-// the attacker probes. The returned observation is owned by the caller.
-func (s *session) window(symbol int) Observation {
-	for _, step := range s.v.Sequence(symbol, s.r.Uint64()) {
-		s.tg.Access(step.Line, ReqVictim)
+// observed renders the completed window mask as the strategy's
+// observation — raw under the canonical full prime, differenced
+// against the group's reference orbit under the d-split — as a fresh
+// copy owned by the caller.
+func (s *session) observed() Observation {
+	c := s.obs.clone()
+	if s.d > 0 {
+		for i := range c {
+			c[i] ^= s.ref[i]
+		}
 	}
+	return c
+}
+
+// window runs one synchronous event: the attacker's initialization
+// phase, the victim processing one secret symbol, then the attacker's
+// probe phase. The returned observation is owned by the caller.
+// Callers open each group of windows that should share a reference
+// orbit with reprime.
+func (s *session) window(symbol int) Observation {
+	s.prime(nil)
+	s.victimWindow(nil, symbol)
 	s.windows++
-	return s.probe().clone()
+	s.probe(nil)
+	return s.observed()
+}
+
+// victimWindow plays one victim event window against the target.
+func (s *session) victimWindow(e *sched.Env, symbol int) {
+	for _, step := range s.v.Sequence(symbol, s.r.Uint64()) {
+		s.access(e, step.Line, ReqVictim)
+	}
 }
 
 // buildTemplate runs the template-building phase on a fresh replica of
 // the target seeded with profSeed. Symbol values are interleaved
 // round-robin so every cell sees the same steady-state history mix. It
-// returns the template and the number of windows spent.
+// returns the template and the number of windows spent. Under a
+// scheduled config the replica runs the same SMT or time-sliced
+// machine as the live attack, so the templates absorb the scheduling
+// jitter they will be classified under.
 func buildTemplate(cfg Config, profSeed uint64) (*Template, int) {
 	s := newSession(cfg, profSeed)
 	space := cfg.Victim.SymbolSpace()
 	tmpl := NewTemplate(space, len(s.sets), s.tg.AttackerWays())
+	if cfg.Schedule != ScheduleSync {
+		stream := roundRobinStream(space, cfg.ProfilingRounds)
+		buckets := scheduleStream(cfg, s, stream, profSeed)
+		for i, sym := range stream {
+			for _, obs := range buckets[i] {
+				tmpl.Add(sym, obs)
+			}
+		}
+		return tmpl, s.windows
+	}
+	// The d-split strategy carries state across the windows of a vote
+	// group (the reference orbit set by reprime, and the cumulative
+	// orbit shift the victim's touches cause), so profiling must
+	// replicate the exploitation phase's structure: runs of Votes
+	// consecutive windows per symbol, re-referenced at the group
+	// boundary. The canonical full prime re-canonicalizes every pass,
+	// so single-window interleaving suffices there (group == 1, and
+	// reprime is a no-op, keeping its established template shape).
+	group := 1
+	if s.d > 0 {
+		group = cfg.Votes
+	}
 	for round := 0; round < cfg.ProfilingRounds; round++ {
 		for v := 0; v < space; v++ {
-			tmpl.Add(v, s.window(v))
+			s.reprime(nil)
+			for g := 0; g < group; g++ {
+				tmpl.Add(v, s.window(v))
+			}
 		}
 	}
 	return tmpl, s.windows
@@ -219,21 +378,40 @@ func Run(cfg Config, secret []int) Result {
 		VictimName: cfg.Victim.Name(),
 		Defense:    cfg.Defense,
 		Policy:     cfg.Policy,
+		Probe:      cfg.Probe,
+		Schedule:   cfg.Schedule,
 		Secret:     append([]int(nil), secret...),
 		Confusion:  newConfusion(space),
+	}
+	truths := make([]int, len(secret))
+	for i, t := range secret {
+		t %= space
+		if t < 0 {
+			t += space
+		}
+		truths[i] = t
+	}
+	// Under a scheduled config the whole secret runs through one
+	// machine, the attacker bucketing its windows per symbol period;
+	// synchronously each symbol's votes are collected attack-driven.
+	var buckets [][]Observation
+	if cfg.Schedule != ScheduleSync {
+		buckets = scheduleStream(cfg, live, truths, liveSeed)
 	}
 	votes := make([]Observation, cfg.Votes)
 	var ranks float64
 	correct := 0
-	for _, truth := range secret {
-		truth = truth % space
-		if truth < 0 {
-			truth += space
+	for si, truth := range truths {
+		vs := votes
+		if buckets != nil {
+			vs = buckets[si]
+		} else {
+			live.reprime(nil)
+			for v := range votes {
+				votes[v] = live.window(truth)
+			}
 		}
-		for v := range votes {
-			votes[v] = live.window(truth)
-		}
-		post := tmpl.ClassifyMany(votes)
+		post := tmpl.ClassifyMany(vs)
 		guess := argmax(post)
 		res.Recovered = append(res.Recovered, guess)
 		res.Posteriors = append(res.Posteriors, post)

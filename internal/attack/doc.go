@@ -1,0 +1,46 @@
+// Package attack implements the attacker side of the secret-recovery
+// LRU side channel: replacement-state probe primitives over the cache
+// under attack, a profiling phase that builds per-secret-value
+// templates, and a template classifier that recovers key nibbles or
+// exponent bits with confidence scores.
+//
+// The protocol per monitored set is the paper's Algorithm 2 reshaped
+// for one-shot secret recovery: the attacker PRIMES the set by loading
+// its own `ways` lines in a fixed order, which both fills the ways and
+// leaves the replacement state in a canonical, history-free
+// configuration (every way was just touched in known order). The
+// victim then runs one event window containing its single
+// secret-dependent access, which advances the replacement state and —
+// because the set is full of attacker lines — displaces the line in
+// the policy's victim way. The attacker PROBES by reloading its lines
+// in the same fixed order, recording which of them miss: the miss
+// pattern reveals which way the victim's access promoted, and the
+// reloads themselves re-prime the set for the next window.
+//
+// Two axes generalize that baseline protocol:
+//
+//   - The probe strategy (Probe). The canonical full prime above
+//     erases what it measures: its own pass of touches overwrites the
+//     replacement state, so a victim access that only UPDATES state
+//     without displacing anything — a hit on a Partition-Locked
+//     cache's locked line, the paper's Figure 11 top leak — is
+//     invisible to it. The d-split partial prime (ProbeDSplit, the
+//     Figure 11 d=1 operating point) touches only d ways before the
+//     victim's window and probes the remainder after it, reporting
+//     masks relative to the set's undisturbed steady orbit, which is
+//     exactly sensitive to that update. See probe.go.
+//
+//   - The execution schedule (Schedule). The synchronous baseline runs
+//     the victim's window between prime and probe in lockstep — an
+//     idealized attack-driven sequencing. The scheduled modes run both
+//     parties as internal/sched threads on an SMT or time-sliced
+//     machine, pacing themselves by wall clock with no
+//     synchronization, so probe windows drift against the victim's
+//     events and the classifier needs more votes (MinVotes prices the
+//     difference). See sched.go.
+//
+// The same protocol runs unchanged against every secure-cache design
+// of Section IX through the Target interface (target.go), which is
+// what turns internal/secure from isolated demos into defenses
+// evaluated against a real attack.
+package attack

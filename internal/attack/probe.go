@@ -1,0 +1,99 @@
+package attack
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Probe selects the attacker's per-window probe strategy — how the
+// prime and probe phases split the attacker's lines around the victim's
+// event window.
+//
+// The zero value is the canonical full prime: every attacker line is
+// reloaded after the victim's window in one fixed-order pass, which
+// both records the miss mask and re-primes the set for the next window.
+// Its strength is a history-free, canonical replacement state at the
+// start of every window; its weakness — established by the PL-cache
+// rows of the attack matrix — is that the full pass of touches largely
+// overwrites whatever the victim's single access did to the
+// replacement state, so the original PL cache's locked-line LRU update
+// (the Figure 11 top leak) is invisible to it.
+//
+// D >= 1 selects the d-split partial prime, the key-recovery restating
+// of Algorithm 2's split parameter at the paper's Figure 11 d=1
+// operating point: lines 0..D-1 are accessed at the START of the
+// window (the initialization phase, before the victim's event), and
+// only the remaining ways are probed after it. The replacement state
+// is deliberately NOT canonicalized between windows, so the victim's
+// single replacement-state update — including a hit on a locked line
+// under the original PL cache — steers which attacker line the
+// next overflow miss displaces, and the miss mask carries it.
+type Probe struct {
+	// D is the split parameter: 0 = canonical full prime, >= 1 = the
+	// number of lines accessed in the initialization phase of the
+	// d-split partial prime. Values >= the attacker's way count are
+	// clamped to ways-1 (at least one way must remain to probe).
+	D int
+}
+
+// ProbeFull is the canonical full-prime strategy (the zero value).
+func ProbeFull() Probe { return Probe{} }
+
+// ProbeDSplit is the d-split partial prime with the given split.
+// ProbeDSplit(1) is the Figure 11 d=1 operating point.
+func ProbeDSplit(d int) Probe {
+	if d < 1 {
+		d = 1
+	}
+	return Probe{D: d}
+}
+
+// String names the strategy ("full" or "d=1", "d=2", ...).
+func (p Probe) String() string {
+	if p.D <= 0 {
+		return "full"
+	}
+	return fmt.Sprintf("d=%d", p.D)
+}
+
+// ParseProbe maps a probe name back to its value, for flags: "full"
+// (or "canonical"), and "d=1" / "d1" / "dsplit" for the partial prime.
+func ParseProbe(s string) (Probe, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	switch t {
+	case "full", "canonical", "":
+		return ProbeFull(), nil
+	case "dsplit", "partial":
+		return ProbeDSplit(1), nil
+	}
+	if rest, ok := strings.CutPrefix(t, "d"); ok {
+		rest = strings.TrimPrefix(rest, "=")
+		if d, err := strconv.Atoi(rest); err == nil && d >= 1 {
+			return ProbeDSplit(d), nil
+		}
+	}
+	return Probe{}, fmt.Errorf("attack: unknown probe %q (want full or d=N)", s)
+}
+
+// Probes lists the evaluated strategies, in presentation order.
+func Probes() []Probe {
+	return []Probe{ProbeFull(), ProbeDSplit(1)}
+}
+
+// split resolves the strategy against the attacker's way count: the
+// number of lines accessed before the victim's window (0 under the
+// canonical strategy) while the remainder is probed after it.
+func (p Probe) split(ways int) int {
+	if p.D <= 0 {
+		return 0
+	}
+	d := p.D
+	if d > ways-1 {
+		d = ways - 1
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

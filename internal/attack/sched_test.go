@@ -1,0 +1,146 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/replacement"
+)
+
+func TestParseProbeRoundTrip(t *testing.T) {
+	for _, p := range Probes() {
+		got, err := ParseProbe(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProbe(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	for in, want := range map[string]Probe{
+		"full": ProbeFull(), "canonical": ProbeFull(),
+		"d1": ProbeDSplit(1), "d=1": ProbeDSplit(1), "d=3": ProbeDSplit(3),
+		"dsplit": ProbeDSplit(1),
+	} {
+		got, err := ParseProbe(in)
+		if err != nil || got != want {
+			t.Errorf("ParseProbe(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"d0", "d=-1", "partial7", "x"} {
+		if _, err := ParseProbe(bad); err == nil {
+			t.Errorf("ParseProbe(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	for _, s := range Schedules() {
+		got, err := ParseSchedule(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSchedule(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSchedule("quantum"); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+}
+
+func TestProbeSplitClamps(t *testing.T) {
+	if d := ProbeFull().split(8); d != 0 {
+		t.Errorf("full split = %d", d)
+	}
+	if d := ProbeDSplit(1).split(8); d != 1 {
+		t.Errorf("d=1 split = %d", d)
+	}
+	// At least one way must remain to probe.
+	if d := ProbeDSplit(99).split(4); d != 3 {
+		t.Errorf("oversized split = %d, want ways-1", d)
+	}
+}
+
+// The d-split partial prime is the operating point that separates the
+// PL-cache variants for key recovery (the Figure 11 distinction): the
+// original design's locked-line replacement-state update leaks through
+// it, the fixed design stays at chance.
+func TestDSplitSeparatesPLVariants(t *testing.T) {
+	cfg, secret := ttableConfig(DefensePLCache, replacement.TreePLRU, 7)
+	cfg.Probe = ProbeDSplit(1)
+	leak := Run(cfg, secret)
+
+	fixCfg, _ := ttableConfig(DefensePLCacheFixed, replacement.TreePLRU, 7)
+	fixCfg.Probe = ProbeDSplit(1)
+	fixed := Run(fixCfg, secret)
+
+	chance := ChanceGuesses(cfg.Victim)
+	if leak.MeanGuesses > 0.7*chance {
+		t.Errorf("plcache d=1 guesses %.1f not clearly below chance %.1f — the locked-line leak is gone",
+			leak.MeanGuesses, chance)
+	}
+	if leak.RecoveryRate <= 1.0/float64(cfg.Victim.SymbolSpace()) {
+		t.Errorf("plcache d=1 recovery %.2f at or below chance", leak.RecoveryRate)
+	}
+	if fixed.MeanGuesses < 0.7*chance {
+		t.Errorf("plcache-fix d=1 guesses %.1f below chance %.1f — the fix should close the leak",
+			fixed.MeanGuesses, chance)
+	}
+	if fixed.RecoveryRate > 0.2 {
+		t.Errorf("plcache-fix d=1 recovery %.2f, want chance level", fixed.RecoveryRate)
+	}
+}
+
+// The d-split must not cost the unprotected baseline: full recovery,
+// like the canonical prime.
+func TestDSplitRecoversBaseline(t *testing.T) {
+	cfg, secret := ttableConfig(DefenseNone, replacement.TreePLRU, 7)
+	cfg.Probe = ProbeDSplit(1)
+	if res := Run(cfg, secret); res.RecoveryRate != 1.0 {
+		t.Errorf("baseline d=1 recovery %.2f, want 1.0", res.RecoveryRate)
+	}
+}
+
+// The scheduled attack — victim and attacker as sched threads with no
+// synchronization — must still recover the key on the baseline cache,
+// in both sharing modes, for the policies of the paper's family.
+func TestScheduledRecoversBaseline(t *testing.T) {
+	for _, sc := range []Schedule{ScheduleSMT, ScheduleTimeSliced} {
+		for _, pol := range []replacement.Kind{replacement.TrueLRU, replacement.TreePLRU} {
+			cfg, secret := ttableConfig(DefenseNone, pol, 7)
+			cfg.Schedule = sc
+			cfg.Votes = 6
+			res := Run(cfg, secret)
+			if res.RecoveryRate != 1.0 {
+				t.Errorf("%v/%v: recovery %.2f, want 1.0", sc, pol, res.RecoveryRate)
+			}
+			if res.Schedule != sc {
+				t.Errorf("%v: result schedule %v", sc, res.Schedule)
+			}
+		}
+	}
+}
+
+// Scheduled runs are bit-deterministic in the seed, like everything
+// else in the simulator.
+func TestScheduledDeterministic(t *testing.T) {
+	cfg, secret := ttableConfig(DefenseNone, replacement.TreePLRU, 11)
+	cfg.Schedule = ScheduleSMT
+	a, b := Run(cfg, secret), Run(cfg, secret)
+	if a.RecoveryRate != b.RecoveryRate || a.MeanGuesses != b.MeanGuesses {
+		t.Fatal("identical scheduled configs diverge")
+	}
+	for i := range a.Recovered {
+		if a.Recovered[i] != b.Recovered[i] {
+			t.Fatalf("scheduled recovered symbol %d differs across identical runs", i)
+		}
+	}
+}
+
+// MinVotes finds the sync baseline quickly and reports failure
+// honestly when the ceiling is too low.
+func TestMinVotes(t *testing.T) {
+	cfg, secret := ttableConfig(DefenseNone, replacement.TreePLRU, 7)
+	n, ok := MinVotes(cfg, secret, 6)
+	if !ok || n < 1 || n > 6 {
+		t.Errorf("sync MinVotes = %d, %v", n, ok)
+	}
+	dawgCfg, _ := ttableConfig(DefenseDAWG, replacement.TreePLRU, 7)
+	if _, ok := MinVotes(dawgCfg, secret, 2); ok {
+		t.Error("MinVotes claims recovery through DAWG")
+	}
+}

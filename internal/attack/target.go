@@ -1,26 +1,3 @@
-// Package attack implements the attacker side of the secret-recovery
-// LRU side channel: replacement-state probe primitives over the cache
-// under attack, a profiling phase that builds per-secret-value
-// templates, and a template classifier that recovers key nibbles or
-// exponent bits with confidence scores.
-//
-// The protocol per monitored set is the paper's Algorithm 2 reshaped
-// for one-shot secret recovery: the attacker PRIMES the set by loading
-// its own `ways` lines in a fixed order, which both fills the ways and
-// leaves the replacement state in a canonical, history-free
-// configuration (every way was just touched in known order). The
-// victim then runs one event window containing its single
-// secret-dependent access, which advances the replacement state and —
-// because the set is full of attacker lines — displaces the line in
-// the policy's victim way. The attacker PROBES by reloading its lines
-// in the same fixed order, recording which of them miss: the miss
-// pattern reveals which way the victim's access promoted, and the
-// reloads themselves re-prime the set for the next window.
-//
-// The same protocol runs unchanged against every secure-cache design
-// of Section IX through the Target interface below, which is what
-// turns internal/secure from isolated demos into defenses evaluated
-// against a real attack.
 package attack
 
 import (
@@ -231,7 +208,7 @@ func (t *rfTarget) WarmVictim(lines []uint64) {
 func (t *rfTarget) AttackerWays() int { return t.ways }
 
 func (t *rfTarget) Report(requestor int) perfctr.Report {
-	return reportFromL1(requestor, t.rf.Inner().RequestorStats(requestor))
+	return perfctr.FromL1Stats(requestor, t.rf.Inner().RequestorStats(requestor))
 }
 
 func (t *rfTarget) ResetStats() { t.rf.Inner().ResetStats() }
@@ -268,16 +245,7 @@ func (t *dawgTarget) WarmVictim(lines []uint64) {
 func (t *dawgTarget) AttackerWays() int { return t.waysPer }
 
 func (t *dawgTarget) Report(requestor int) perfctr.Report {
-	return reportFromL1(requestor, t.stats[requestor])
+	return perfctr.FromL1Stats(requestor, t.stats[requestor])
 }
 
 func (t *dawgTarget) ResetStats() { t.stats = [2]cache.Stats{} }
-
-// reportFromL1 builds a perfctr view for targets that model only one
-// cache level.
-func reportFromL1(requestor int, s cache.Stats) perfctr.Report {
-	rep := perfctr.Report{Requestor: requestor}
-	rep.L1D = perfctr.FromStats("L1D", s)
-	rep.L2.Level = "L2"
-	return rep
-}

@@ -1,0 +1,19 @@
+// Package engine is the experiment-execution subsystem: every figure,
+// table and benchmark driver in this repository declares its evaluation
+// grid as a slice of Jobs and hands it to Run, which fans the jobs out
+// over a worker pool.
+//
+// The engine's contract is determinism: results are collected in
+// submission order and each job derives all of its randomness from its
+// own seed, so a parallel run over N workers is bit-identical to a
+// serial run over 1 worker. Parallelism is safe because every job
+// constructs its own simulated machine (hierarchy, scheduler, TSC,
+// RNG) — the simulator has no shared mutable state.
+//
+// The unit of parallelism is the experiment cell: one simulated
+// machine, run start to finish. Loops *inside* a cell (the receiver's
+// sampling loop, the sender's encode loop) are the protocol under
+// study and stay sequential; loops *across* cells (profiles ×
+// algorithms × (Tr, Ts) points × trials) are what the engine
+// parallelizes.
+package engine

@@ -75,6 +75,15 @@ func FromStats(level string, s cache.Stats) LevelCounters {
 	}
 }
 
+// FromL1Stats builds the report of a process on a model with a single
+// cache level (random fill, DAWG): L1D counters from s, an idle L2.
+func FromL1Stats(requestor int, s cache.Stats) Report {
+	rep := Report{Requestor: requestor}
+	rep.L1D = FromStats("L1D", s)
+	rep.L2.Level = "L2"
+	return rep
+}
+
 func fromStats(level string, s cache.Stats) LevelCounters {
 	return FromStats(level, s)
 }

@@ -1,0 +1,18 @@
+// Package replacement implements the cache replacement policies studied in
+// the paper: true LRU, Tree-PLRU (So & Rechtschaffen), Bit-PLRU / MRU
+// (Malamy et al.), FIFO, and Random. The Tree-PLRU and Bit-PLRU update and
+// victim-selection rules follow Section II-B of the paper bit-for-bit; the
+// Table I eviction-probability study and every channel experiment run on
+// top of these implementations.
+//
+// One Policy instance tracks the access history of a single cache set. The
+// containing cache is responsible for filling invalid ways first; a Policy
+// is only consulted for a victim when the set is full.
+//
+// internal/cache's hot path does not run on Policy instances: it uses the
+// packed SetArray, which stores the state of every set of a cache in
+// contiguous slices and dispatches directly on Kind. The Policy interface
+// and its per-set implementations remain the reference semantics and the
+// thin adapter for tests, traces, and the per-domain DAWG partitions; the
+// equivalence fuzz target keeps the two in lock-step.
+package replacement

@@ -1,29 +1,3 @@
-// Package sched executes simulated programs against a shared cache
-// hierarchy under the two sharing settings of the paper's threat model
-// (Section III): simultaneous multi-threading (two hyper-threads issuing
-// in parallel on one physical core) and time-sliced sharing (processes
-// alternating on the core under an OS round-robin scheduler).
-//
-// Programs are ordinary Go functions that receive an *Env and issue memory
-// accesses, busy-waits and timer reads through it. Each program runs on its
-// own goroutine, but execution is strictly cooperative — exactly one
-// program runs at any instant, resumed and suspended by the scheduler
-// around every charged action — so simulations are fully deterministic
-// given the seed.
-//
-// Time accounting:
-//
-//   - SMT: each hardware thread has its own wall clock; the scheduler
-//     always advances the thread whose current action completes earliest.
-//     Per-action multiplicative jitter models issue-slot and port
-//     contention between the hyper-threads, producing the irregular
-//     interleaving the paper's channels experience.
-//
-//   - Time-sliced: a single core clock and a round-robin quantum. A
-//     program's long busy-waits are consumed lazily across its own slices
-//     while other programs run in between, so a receiver spinning for
-//     Tr = 10^8 cycles costs the simulator only Tr/quantum scheduling
-//     steps, not 10^8 events.
 package sched
 
 import (
@@ -152,10 +126,14 @@ type Machine struct {
 	stopped  bool
 }
 
-// New creates a machine. Hier, TSC and RNG must be non-nil.
+// New creates a machine. RNG must be non-nil. Hier and TSC may be nil
+// for programs that model their memory system outside the shared
+// hierarchy (the scheduled key-recovery attack drives its Target
+// adapters directly and charges latencies through Busy); such programs
+// must not call Access, AccessOp, Flush, Measure or MeasureSingle.
 func New(cfg Config) *Machine {
-	if cfg.Hier == nil || cfg.TSC == nil || cfg.RNG == nil {
-		panic("sched: Config requires Hier, TSC and RNG")
+	if cfg.RNG == nil {
+		panic("sched: Config requires RNG")
 	}
 	cfg.fillDefaults()
 	return &Machine{cfg: cfg}
@@ -427,16 +405,26 @@ func (e *Env) Requestor() int { return e.t.req }
 // use them).
 func (e *Env) Now() uint64 { return e.t.wallNow }
 
+// requireHier makes misuse of a hierarchy-less machine diagnosable:
+// the construction is legal (see New), but memory actions are not.
+func (e *Env) requireHier() *hier.Hierarchy {
+	h := e.m.cfg.Hier
+	if h == nil {
+		panic("sched: " + e.t.name + " issued a memory action on a machine built without a Hier")
+	}
+	return h
+}
+
 // Access performs a load and blocks for its latency.
 func (e *Env) Access(a mem.Addr) hier.Result {
-	res := e.m.cfg.Hier.Load(a, e.t.req)
+	res := e.requireHier().Load(a, e.t.req)
 	e.charge(uint64(res.Latency))
 	return res
 }
 
 // AccessOp performs a load with a PL-cache lock/unlock side effect.
 func (e *Env) AccessOp(a mem.Addr, op cache.Op) hier.Result {
-	res := e.m.cfg.Hier.LoadOp(a, e.t.req, op)
+	res := e.requireHier().LoadOp(a, e.t.req, op)
 	e.charge(uint64(res.Latency))
 	return res
 }
@@ -446,8 +434,9 @@ func (e *Env) AccessOp(a mem.Addr, op cache.Op) hier.Result {
 // flush latency has elapsed — so a flush+reload loop leaves the line absent
 // only for the brief window between the flush completing and the reload.
 func (e *Env) Flush(a mem.Addr) {
+	h := e.requireHier()
 	e.charge(e.m.cfg.FlushCost)
-	e.m.cfg.Hier.Flush(a.PhysLine)
+	h.Flush(a.PhysLine)
 }
 
 // Busy consumes c cycles of CPU time without touching memory — the "do

@@ -1,0 +1,27 @@
+// Package victim models secret-dependent victim programs for the
+// secret-recovery side channel: each victim processes one secret symbol
+// per "event window" (an AES first-round lookup, one square-and-multiply
+// exponent bit, one keystroke) and performs exactly one secret-dependent
+// memory access in that window — the single-access case the paper's LRU
+// channel can observe and flush- or eviction-based attacks cannot.
+//
+// A victim's access stream is deterministic in (symbol, seed): the same
+// symbol under the same window seed yields the identical Step sequence,
+// which is what makes the attacker's template profiling transfer from
+// its replica to the live run. Around the secret-dependent access every
+// victim emits benign background traffic — a hot loop over a small
+// private working set plus noise drawn from a workload.Generator — so
+// its performance-counter profile looks like a working program rather
+// than a bare gadget.
+//
+// Addresses are physical line numbers (line = tag*sets + set), the
+// currency of internal/cache and the attack targets; victims, attacker
+// and noise live in disjoint tag ranges so they can only collide in the
+// dimension that matters: the cache set.
+//
+// Three victims are implemented: TTable (AES-style 16-line nibble
+// lookup), SquareMultiply (per-exponent-bit branch) and TableLookup (a
+// generic dispatch with configurable width and noise). ByName
+// constructs each at its default placement; DemoSecret, ParseSecret
+// and FormatSecret handle the planted keys the attacks recover.
+package victim

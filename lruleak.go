@@ -95,6 +95,12 @@ type (
 	AttackResult = attack.Result
 	// AttackDefense selects the secure-cache design under attack.
 	AttackDefense = attack.Defense
+	// AttackProbe selects the attacker's probe strategy: the canonical
+	// full prime, or the Figure 11 d-split partial prime.
+	AttackProbe = attack.Probe
+	// AttackSchedule selects the attack's execution discipline:
+	// synchronous, SMT hyper-threads, or time-sliced sharing.
+	AttackSchedule = attack.Schedule
 )
 
 // NewVictim constructs a victim program by kind name ("ttable",
@@ -111,6 +117,20 @@ func AttackDefenseByName(name string) (AttackDefense, error) { return attack.Par
 
 // AttackDefenses lists the evaluated defenses in matrix order.
 func AttackDefenses() []AttackDefense { return attack.Defenses() }
+
+// AttackProbeByName resolves a probe-strategy name ("full", "d=1",
+// "d1") for command-line flags.
+func AttackProbeByName(name string) (AttackProbe, error) { return attack.ParseProbe(name) }
+
+// AttackProbes lists the evaluated probe strategies.
+func AttackProbes() []AttackProbe { return attack.Probes() }
+
+// AttackScheduleByName resolves a schedule name ("sync", "smt",
+// "tslice") for command-line flags.
+func AttackScheduleByName(name string) (AttackSchedule, error) { return attack.ParseSchedule(name) }
+
+// AttackSchedules lists the execution disciplines in evaluation order.
+func AttackSchedules() []AttackSchedule { return attack.Schedules() }
 
 // AttackChanceGuesses is the guesses-to-first-correct a blind attacker
 // achieves against the victim — the chance baseline attack reports are

@@ -8,10 +8,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/engine"
+	"repro/internal/hier"
+	"repro/internal/mem"
+	"repro/internal/perfctr"
+	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/transport"
 	"repro/internal/transport/codec"
 	"repro/internal/victim"
+	"repro/internal/workload"
 )
 
 // This file is the generalization the engine buys us: arbitrary
@@ -323,6 +328,14 @@ type AttackSpec struct {
 	// Profiles defaults to Sandy Bridge only (the attack depends on
 	// geometry, which all three Table III parts share).
 	Profiles []Profile
+	// Probes defaults to the canonical full prime only; add
+	// attack.ProbeDSplit(1) for the Figure 11 d=1 partial prime that
+	// separates the PL-cache variants.
+	Probes []AttackProbe
+	// Schedules defaults to the synchronous attack-driven baseline
+	// only; add the SMT and time-sliced schedules to price scheduling
+	// jitter into the matrix.
+	Schedules []AttackSchedule
 	// Symbols is the demo-secret length per cell (default 8).
 	Symbols int
 	// Votes is the observation windows fused per symbol (default 4).
@@ -348,6 +361,12 @@ func (sp AttackSpec) withDefaults() AttackSpec {
 	if len(sp.Profiles) == 0 {
 		sp.Profiles = []Profile{SandyBridge()}
 	}
+	if len(sp.Probes) == 0 {
+		sp.Probes = []AttackProbe{attack.ProbeFull()}
+	}
+	if len(sp.Schedules) == 0 {
+		sp.Schedules = []AttackSchedule{attack.ScheduleSync}
+	}
 	if sp.Symbols == 0 {
 		sp.Symbols = 8
 	}
@@ -365,10 +384,12 @@ func (sp AttackSpec) withDefaults() AttackSpec {
 
 // AttackCell is one grid point of the defense-evaluation matrix.
 type AttackCell struct {
-	Victim  string
-	Profile Profile
-	Policy  ReplacementKind
-	Defense AttackDefense
+	Victim   string
+	Profile  Profile
+	Policy   ReplacementKind
+	Defense  AttackDefense
+	Probe    AttackProbe
+	Schedule AttackSchedule
 
 	// Recovery summarizes the recovery rate over the cell's trials.
 	Recovery engine.Summary
@@ -381,10 +402,11 @@ type AttackCell struct {
 
 // AttackSweep runs the full cross product of the spec through the
 // engine and returns the cells in grid order (victims-major, then
-// profiles, policies, defenses). Each (cell, trial) seed is split
-// deterministically from the root seed by grid position, and all cells
-// of one victim kind attack the same demo secret, so the matrix is
-// comparable across defenses and bit-identical at any worker count.
+// profiles, policies, defenses, probes, schedules). Each (cell, trial)
+// seed is split deterministically from the root seed by grid position,
+// and all cells of one victim kind attack the same demo secret, so the
+// matrix is comparable across defenses and bit-identical at any worker
+// count.
 func AttackSweep(spec AttackSpec, seed uint64, opt RunOptions) []AttackCell {
 	spec = spec.withDefaults()
 
@@ -393,6 +415,8 @@ func AttackSweep(spec AttackSpec, seed uint64, opt RunOptions) []AttackCell {
 		prof  Profile
 		pol   ReplacementKind
 		def   AttackDefense
+		probe AttackProbe
+		sched AttackSchedule
 	}
 	var ids []cellID
 	for _, vname := range spec.Victims {
@@ -404,7 +428,11 @@ func AttackSweep(spec AttackSpec, seed uint64, opt RunOptions) []AttackCell {
 			}
 			for _, pol := range spec.Policies {
 				for _, def := range spec.Defenses {
-					ids = append(ids, cellID{vname, prof, pol, def})
+					for _, probe := range spec.Probes {
+						for _, sched := range spec.Schedules {
+							ids = append(ids, cellID{vname, prof, pol, def, probe, sched})
+						}
+					}
 				}
 			}
 		}
@@ -420,8 +448,8 @@ func AttackSweep(spec AttackSpec, seed uint64, opt RunOptions) []AttackCell {
 		id := id
 		for trial := 0; trial < spec.Trials; trial++ {
 			jobs = append(jobs, engine.Job[trialResult]{
-				Name: fmt.Sprintf("attack/%s/%v/%v/%s/trial=%d",
-					id.vname, id.pol, id.def, id.prof.Arch, trial),
+				Name: fmt.Sprintf("attack/%s/%v/%v/%v/%v/%s/trial=%d",
+					id.vname, id.pol, id.def, id.probe, id.sched, id.prof.Arch, trial),
 				Seed: seeds[len(jobs)],
 				Run: func(s uint64) trialResult {
 					v, err := victim.ByName(id.vname, id.prof.L1Sets)
@@ -432,7 +460,9 @@ func AttackSweep(spec AttackSpec, seed uint64, opt RunOptions) []AttackCell {
 					res := attack.Run(attack.Config{
 						Victim: v, Defense: id.def, Policy: id.pol,
 						Profile: id.prof, Votes: spec.Votes,
-						ProfilingRounds: spec.ProfilingRounds, Seed: s,
+						ProfilingRounds: spec.ProfilingRounds,
+						Probe:           id.probe, Schedule: id.sched,
+						Seed: s,
 					}, secret)
 					return trialResult{
 						rec:        res.RecoveryRate,
@@ -449,7 +479,10 @@ func AttackSweep(spec AttackSpec, seed uint64, opt RunOptions) []AttackCell {
 	cells := make([]AttackCell, len(ids))
 	for ci, id := range ids {
 		sub := rs[ci*spec.Trials : (ci+1)*spec.Trials]
-		cell := AttackCell{Victim: id.vname, Profile: id.prof, Policy: id.pol, Defense: id.def}
+		cell := AttackCell{
+			Victim: id.vname, Profile: id.prof, Policy: id.pol,
+			Defense: id.def, Probe: id.probe, Schedule: id.sched,
+		}
 		cell.Recovery = engine.SummarizeBy(sub, func(t trialResult) float64 { return t.rec })
 		cell.Guesses = engine.SummarizeBy(sub, func(t trialResult) float64 { return t.guesses })
 		for _, r := range sub {
@@ -468,11 +501,12 @@ func AttackSweep(spec AttackSpec, seed uint64, opt RunOptions) []AttackCell {
 }
 
 // RenderAttackSweep formats the defense-evaluation matrix as a flat
-// table: which defense stops which attack, and whether the monitor
-// flags the attacker (and spares the victim) while it runs.
+// table: which defense stops which attack under which probe strategy
+// and execution schedule, and whether the monitor flags the attacker
+// (and spares the victim) while it runs.
 func RenderAttackSweep(cells []AttackCell) string {
 	var b strings.Builder
-	b.WriteString("Victim   Policy      Defense       Recovery  Guesses  Attacker     Victim\n")
+	b.WriteString("Victim   Policy      Defense       Probe  Sched   Recovery  Guesses  Attacker     Victim\n")
 	for _, c := range cells {
 		att, vic := "benign", "benign"
 		if c.AttackerFlagged > 0.5 {
@@ -481,12 +515,315 @@ func RenderAttackSweep(cells []AttackCell) string {
 		if c.VictimFlagged > 0.5 {
 			vic = "flagged"
 		}
-		fmt.Fprintf(&b, "%-7s  %-10v  %-12v  %8.2f  %7.1f  %-11s  %s",
-			c.Victim, c.Policy, c.Defense, c.Recovery.Mean, c.Guesses.Mean, att, vic)
+		fmt.Fprintf(&b, "%-7s  %-10v  %-12v  %-5v  %-6v  %8.2f  %7.1f  %-11s  %s",
+			c.Victim, c.Policy, c.Defense, c.Probe, c.Schedule,
+			c.Recovery.Mean, c.Guesses.Mean, att, vic)
 		if c.Recovery.N > 1 {
 			fmt.Fprintf(&b, "  (±%.2f over %d trials)", c.Recovery.Std, c.Recovery.N)
 		}
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// VoteOverheadRow is one schedule's price in votes: the smallest
+// per-symbol window count at which the attack recovers the demo key
+// exactly.
+type VoteOverheadRow struct {
+	Schedule AttackSchedule
+	// Votes is the minimum vote count (== MaxVotes when !Recovered).
+	Votes     int
+	Recovered bool
+}
+
+// VoteOverheadStudy prices scheduling jitter: for each schedule it
+// searches the minimum votes-per-symbol needed for exact recovery of
+// the victim's demo key on the unprotected cache, one engine job per
+// schedule. The sync row is the baseline; the SMT and time-sliced rows
+// pay for probe windows that drift against the victim's events.
+func VoteOverheadStudy(victimName string, pol ReplacementKind, symbols, maxVotes int, seed uint64, opt RunOptions) []VoteOverheadRow {
+	scheds := attack.Schedules()
+	jobs := make([]engine.Job[VoteOverheadRow], len(scheds))
+	for i, sc := range scheds {
+		sc := sc
+		jobs[i] = engine.Job[VoteOverheadRow]{
+			Name: fmt.Sprintf("voteoverhead/%s/%v/%v", victimName, pol, sc),
+			Seed: seed,
+			Run: func(s uint64) VoteOverheadRow {
+				v, err := victim.ByName(victimName, SandyBridge().L1Sets)
+				if err != nil {
+					panic(err)
+				}
+				secret := victim.DemoSecret(v, symbols, s)
+				n, ok := attack.MinVotes(attack.Config{
+					Victim: v, Policy: pol, Schedule: sc, Seed: s,
+				}, secret, maxVotes)
+				return VoteOverheadRow{Schedule: sc, Votes: n, Recovered: ok}
+			},
+		}
+	}
+	return engine.Values(engine.Run(jobs, opt))
+}
+
+// RenderVoteOverhead formats the study against its sync baseline.
+func RenderVoteOverhead(rows []VoteOverheadRow) string {
+	var b strings.Builder
+	base := 0
+	for _, r := range rows {
+		if r.Schedule == attack.ScheduleSync && r.Recovered {
+			base = r.Votes
+		}
+	}
+	b.WriteString("Schedule  MinVotes  Overhead\n")
+	for _, r := range rows {
+		if !r.Recovered {
+			fmt.Fprintf(&b, "%-8v  >%-7d  (no full recovery)\n", r.Schedule, r.Votes)
+			continue
+		}
+		over := "baseline"
+		if r.Schedule != attack.ScheduleSync {
+			if base > 0 {
+				over = fmt.Sprintf("%+d votes/symbol (%.1fx)", r.Votes-base, float64(r.Votes)/float64(base))
+			} else {
+				over = "(no sync baseline)"
+			}
+		}
+		fmt.Fprintf(&b, "%-8v  %-8d  %s\n", r.Schedule, r.Votes, over)
+	}
+	return b.String()
+}
+
+// ROCSpec declares the detection threshold sweep: attacker counter
+// profiles (positives) per defense against benign Figure 9 suite
+// co-runs (negatives), swept over the monitor's cross-eviction
+// threshold grid. Zero-valued dimensions get sensible defaults.
+type ROCSpec struct {
+	// Victims defaults to the T-table victim only.
+	Victims []string
+	// Policies defaults to Tree-PLRU.
+	Policies []ReplacementKind
+	// Defenses defaults to the full Section IX matrix.
+	Defenses []AttackDefense
+	// Trials is the attack runs per (victim, policy, defense), each an
+	// independent positive sample (default 4).
+	Trials int
+	// Symbols is the per-attack demo-secret length (default 4; the
+	// sweep needs counter profiles, not long recoveries).
+	Symbols int
+	// BenignRefs is the reference count each benign process issues
+	// (default 300_000).
+	BenignRefs int
+	// BenignSlice is the time-slice granularity of the benign co-run,
+	// in references per turn (default 100_000). Cross-evictions cost a
+	// sliced process roughly one shared-cache refill per slice, so
+	// this knob sets where the benign population sits on the
+	// cross-eviction axis — real quanta are millions of references, so
+	// the default is already pessimistic about benign interference.
+	BenignSlice int
+	// Thresholds defaults to detect.DefaultROCThresholds().
+	Thresholds []float64
+}
+
+func (sp ROCSpec) withDefaults() ROCSpec {
+	if len(sp.Victims) == 0 {
+		sp.Victims = []string{"ttable"}
+	}
+	if len(sp.Policies) == 0 {
+		sp.Policies = []ReplacementKind{TreePLRU}
+	}
+	if len(sp.Defenses) == 0 {
+		sp.Defenses = attack.Defenses()
+	}
+	if sp.Trials == 0 {
+		sp.Trials = 4
+	}
+	if sp.Symbols == 0 {
+		sp.Symbols = 4
+	}
+	if sp.BenignRefs == 0 {
+		sp.BenignRefs = 300_000
+	}
+	if sp.BenignSlice == 0 {
+		sp.BenignSlice = 100_000
+	}
+	if len(sp.Thresholds) == 0 {
+		sp.Thresholds = detect.DefaultROCThresholds()
+	}
+	return sp
+}
+
+// DefenseROC is one defense's swept detection curve.
+type DefenseROC struct {
+	Defense AttackDefense
+	ROC     detect.ROC
+}
+
+// ROCResult is the full threshold-sensitivity study.
+type ROCResult struct {
+	Curves []DefenseROC
+	// BenignProcesses is the negative sample size (two per suite pair).
+	BenignProcesses int
+	// Deployed is the cross-eviction threshold the stock attack
+	// monitor runs at, for the operating-point columns.
+	Deployed float64
+}
+
+// ROCSweep runs the detection threshold sweep through the engine:
+// positives are the attacker's counter reports from live attack runs
+// (per defense — a defense changes what the attacker's traffic looks
+// like, DAWG structurally zeroing its cross-evictions); negatives are
+// the per-process reports of every unordered Figure 9 suite pair
+// co-run on the unprotected baseline hierarchy. The same negatives
+// serve every defense, so the curves differ only in what the attack
+// does to the counters.
+func ROCSweep(spec ROCSpec, seed uint64, opt RunOptions) ROCResult {
+	spec = spec.withDefaults()
+
+	// Positive samples: one job per (defense, victim, policy, trial).
+	type posID struct {
+		def   AttackDefense
+		vname string
+		pol   ReplacementKind
+	}
+	var posIDs []posID
+	for _, def := range spec.Defenses {
+		for _, vname := range spec.Victims {
+			if _, err := victim.ByName(vname, SandyBridge().L1Sets); err != nil {
+				panic(fmt.Sprintf("lruleak: ROCSweep: %v", err))
+			}
+			for _, pol := range spec.Policies {
+				posIDs = append(posIDs, posID{def, vname, pol})
+			}
+		}
+	}
+	seeds := engine.Seeds(seed, len(posIDs)*spec.Trials+1)
+	posJobs := make([]engine.Job[perfctr.Report], 0, len(posIDs)*spec.Trials)
+	for _, id := range posIDs {
+		id := id
+		for trial := 0; trial < spec.Trials; trial++ {
+			posJobs = append(posJobs, engine.Job[perfctr.Report]{
+				Name: fmt.Sprintf("roc/pos/%v/%s/%v/trial=%d", id.def, id.vname, id.pol, trial),
+				Seed: seeds[len(posJobs)],
+				Run: func(s uint64) perfctr.Report {
+					v, err := victim.ByName(id.vname, SandyBridge().L1Sets)
+					if err != nil {
+						panic(err)
+					}
+					secret := victim.DemoSecret(v, spec.Symbols, s)
+					res := attack.Run(attack.Config{
+						Victim: v, Defense: id.def, Policy: id.pol, Seed: s,
+					}, secret)
+					return res.AttackerReport
+				},
+			})
+		}
+	}
+	posReports := engine.Values(engine.Run(posJobs, opt))
+
+	// Negative samples: every unordered pair of suite benchmarks,
+	// co-run on a shared baseline hierarchy; both processes' reports
+	// count.
+	type pairID struct{ a, b int }
+	var pairs []pairID
+	for i := 0; i < workload.SuiteSize(); i++ {
+		for j := i + 1; j < workload.SuiteSize(); j++ {
+			pairs = append(pairs, pairID{i, j})
+		}
+	}
+	pairSeeds := engine.Seeds(seeds[len(seeds)-1], len(pairs))
+	negJobs := make([]engine.Job[[2]perfctr.Report], len(pairs))
+	for i, p := range pairs {
+		p := p
+		negJobs[i] = engine.Job[[2]perfctr.Report]{
+			Name: fmt.Sprintf("roc/neg/pair=%d-%d", p.a, p.b),
+			Seed: pairSeeds[i],
+			Run: func(s uint64) [2]perfctr.Report {
+				return benignPairReports(p.a, p.b, spec.BenignRefs, spec.BenignSlice, s)
+			},
+		}
+	}
+	var negReports []perfctr.Report
+	for _, pair := range engine.Values(engine.Run(negJobs, opt)) {
+		negReports = append(negReports, pair[0], pair[1])
+	}
+
+	// Sweep one curve per defense over the shared negatives.
+	base := detect.ROCBaseThresholds()
+	out := ROCResult{BenignProcesses: len(negReports), Deployed: base.L1CrossEvictionRate}
+	perDefense := spec.Trials * len(spec.Victims) * len(spec.Policies)
+	for di, def := range spec.Defenses {
+		pos := posReports[di*perDefense : (di+1)*perDefense]
+		out.Curves = append(out.Curves, DefenseROC{
+			Defense: def,
+			ROC:     detect.SweepCrossEvictionThreshold(pos, negReports, base, spec.Thresholds),
+		})
+	}
+	return out
+}
+
+// benignPairTagStride separates the two benign processes' address
+// spaces (no shared lines — only set contention couples them).
+const benignPairTagStride = 1 << 26
+
+// benignPairReports co-runs two Figure 9 suite workloads on a shared
+// unprotected hierarchy with the attack's cache geometry, alternating
+// time slices of `slice` references each until both have issued
+// `refs`, and returns both processes' counter reports — the
+// false-positive population a deployed monitor must not flag. The
+// sliced interleave matters: a time-sliced process pays its partner's
+// displacement once per slice (one shared-cache refill), so its
+// cross-eviction rate is bounded by roughly cacheLines/slice, whereas
+// a reference-by-reference interleave (two hyper-threads thrashing)
+// would push every heavy pair over any plausible threshold.
+func benignPairReports(a, b, refs, slice int, seed uint64) [2]perfctr.Report {
+	gens := [2]workload.Generator{
+		workload.SuiteBenchmark(a, seed),
+		workload.SuiteBenchmark(b, seed^0x9e3779b9),
+	}
+	h := hier.New(hier.Config{
+		Profile:  SandyBridge(),
+		L1Policy: TreePLRU, L2Policy: TreePLRU,
+		RNG: rng.New(seed),
+	})
+	if slice < 1 {
+		slice = 1
+	}
+	var issued [2]int
+	for turn := 0; issued[0] < refs || issued[1] < refs; turn++ {
+		p := turn % 2
+		for k := 0; k < slice && issued[p] < refs; k++ {
+			l := gens[p].Next().Addr / 64
+			if p == 1 {
+				l += benignPairTagStride
+			}
+			h.Load(mem.Addr{Virt: l * 64, Phys: l * 64, VirtLine: l, PhysLine: l}, p)
+			issued[p]++
+		}
+	}
+	return [2]perfctr.Report{perfctr.Collect(h, 0), perfctr.Collect(h, 1)}
+}
+
+// RenderROC formats the study: the AUC summary table with the deployed
+// operating point, then each defense's swept curve.
+func RenderROC(res ROCResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Detection ROC — cross-eviction threshold sweep (negatives: %d benign Figure 9 suite processes)\n",
+		res.BenignProcesses)
+	fmt.Fprintf(&b, "Defense       AUC     TPR@%.1f%%  FPR@%.1f%%\n", 100*res.Deployed, 100*res.Deployed)
+	for _, c := range res.Curves {
+		p := c.ROC.PointAt(res.Deployed)
+		fmt.Fprintf(&b, "%-12v  %.3f   %-8.2f  %-8.2f\n", c.Defense, c.ROC.AUC, p.TPR, p.FPR)
+	}
+	for _, c := range res.Curves {
+		fmt.Fprintf(&b, "\ndefense=%v (positives: %d attacker runs)\n", c.Defense, c.ROC.PosN)
+		b.WriteString("  threshold   TPR    FPR\n")
+		for _, p := range c.ROC.Points {
+			th := fmt.Sprintf("%6.2f%%", 100*p.Threshold)
+			if p.Threshold > 1 {
+				th = "    off"
+			}
+			fmt.Fprintf(&b, "  %s     %.2f   %.2f\n", th, p.TPR, p.FPR)
+		}
 	}
 	return b.String()
 }
