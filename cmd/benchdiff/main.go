@@ -20,6 +20,18 @@
 // per-iteration averages over different seed sets) are compared
 // informationally only.
 //
+// Wall-time ratios are never judged by default (see above), but CI can
+// opt specific benches into a minimum-speedup gate with -require:
+//
+//	-require name:ratio            base-ns(name) / cur-ns(name)  >= ratio
+//	-require name:reference:ratio  cur-ns(reference) / cur-ns(name) >= ratio
+//
+// The two-name form compares siblings inside the current run — immune
+// to the runner's absolute speed — and is how the parallel-speedup and
+// batch-vs-per-access pins are expressed. A required bench missing
+// from the current run is a warning, not a failure: single-core
+// runners legitimately skip the workers=all variants.
+//
 // Usage:
 //
 //	BENCH_JSON=bench.json go test -run xxx -bench . -benchtime 1x .
@@ -34,8 +46,78 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 )
+
+// requirement is one -require pin: the named bench must be at least
+// ratio times faster than its reference (a sibling in the current run
+// when reference is set, its own baseline entry otherwise).
+type requirement struct {
+	name      string
+	reference string // empty: compare against the baseline file
+	ratio     float64
+}
+
+func parseRequire(s string) (requirement, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return requirement{}, fmt.Errorf("want name:ratio or name:reference:ratio, got %q", s)
+	}
+	ratio, err := strconv.ParseFloat(parts[len(parts)-1], 64)
+	if err != nil || ratio <= 0 {
+		return requirement{}, fmt.Errorf("bad ratio in %q", s)
+	}
+	req := requirement{name: parts[0], ratio: ratio}
+	if len(parts) == 3 {
+		req.reference = parts[1]
+	}
+	return req, nil
+}
+
+// checkRequirements evaluates the -require pins against the loaded
+// records, appending failure lines to failures and returning the
+// report section text (empty when no pins were given).
+func checkRequirements(reqs []requirement, base, cur map[string]record, failures *[]string) string {
+	if len(reqs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\n## Required speedups\n\n")
+	for _, req := range reqs {
+		c, ok := cur[req.name]
+		if !ok || c.NsPerOp <= 0 {
+			fmt.Fprintf(&b, "- %s: not in this run (skipped — partial or single-core invocation)\n", req.name)
+			continue
+		}
+		var refNs float64
+		var refDesc string
+		if req.reference != "" {
+			r, ok := cur[req.reference]
+			if !ok || r.NsPerOp <= 0 {
+				fmt.Fprintf(&b, "- %s: reference %s not in this run (skipped)\n", req.name, req.reference)
+				continue
+			}
+			refNs, refDesc = r.NsPerOp, req.reference
+		} else {
+			o, ok := base[req.name]
+			if !ok || o.NsPerOp <= 0 {
+				fmt.Fprintf(&b, "- %s: not in the baseline (skipped)\n", req.name)
+				continue
+			}
+			refNs, refDesc = o.NsPerOp, "baseline"
+		}
+		got := refNs / c.NsPerOp
+		if got >= req.ratio {
+			fmt.Fprintf(&b, "- %s: %.2fx vs %s (required %.2fx) ok\n", req.name, got, refDesc, req.ratio)
+		} else {
+			fmt.Fprintf(&b, "- **%s: %.2fx vs %s, required %.2fx** FAIL\n", req.name, got, refDesc, req.ratio)
+			*failures = append(*failures, fmt.Sprintf(
+				"%s: %.2fx vs %s below required %.2fx", req.name, got, refDesc, req.ratio))
+		}
+	}
+	return b.String()
+}
 
 // record mirrors the BENCH_JSON line schema written by emitBench.
 type record struct {
@@ -84,6 +166,15 @@ func main() {
 	currentPath := flag.String("current", "", "freshly generated BENCH_JSON file (required)")
 	outPath := flag.String("out", "", "write the report here instead of stdout")
 	tol := flag.Float64("tol", 1e-9, "maximum allowed absolute drift of a quality metric")
+	var requires []requirement
+	flag.Func("require", "minimum speedup pin, name:ratio or name:reference:ratio (repeatable)", func(s string) error {
+		req, err := parseRequire(s)
+		if err != nil {
+			return err
+		}
+		requires = append(requires, req)
+		return nil
+	})
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
@@ -138,8 +229,10 @@ func main() {
 			len(missing), strings.Join(missing, ", "))
 	}
 
+	b.WriteString(checkRequirements(requires, base, cur, &failures))
+
 	if len(failures) > 0 {
-		fmt.Fprintf(&b, "\n## QUALITY DRIFT (fatal)\n\n")
+		fmt.Fprintf(&b, "\n## FAILURES (fatal)\n\n")
 		for _, f := range failures {
 			fmt.Fprintf(&b, "- %s\n", f)
 		}

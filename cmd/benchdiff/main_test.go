@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRequire(t *testing.T) {
+	cases := []struct {
+		in   string
+		want requirement
+		err  bool
+	}{
+		{in: "BenchmarkX:2.0", want: requirement{name: "BenchmarkX", ratio: 2.0}},
+		{in: "BenchmarkY/workers=all:BenchmarkY/workers=1:2.0",
+			want: requirement{name: "BenchmarkY/workers=all", reference: "BenchmarkY/workers=1", ratio: 2.0}},
+		{in: "BenchmarkX", err: true},
+		{in: "BenchmarkX:zero", err: true},
+		{in: "BenchmarkX:-1", err: true},
+		{in: "a:b:c:2.0", err: true},
+	}
+	for _, c := range cases {
+		got, err := parseRequire(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseRequire(%q): want error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseRequire(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseRequire(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCheckRequirements(t *testing.T) {
+	base := map[string]record{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 100},
+	}
+	cur := map[string]record{
+		"BenchmarkA":             {Name: "BenchmarkA", NsPerOp: 40},
+		"BenchmarkB/mode=fast":   {Name: "BenchmarkB/mode=fast", NsPerOp: 10},
+		"BenchmarkB/mode=slow":   {Name: "BenchmarkB/mode=slow", NsPerOp: 50},
+		"BenchmarkB/mode=barely": {Name: "BenchmarkB/mode=barely", NsPerOp: 30},
+		"BenchmarkNotInBaseline": {Name: "BenchmarkNotInBaseline", NsPerOp: 5},
+	}
+
+	t.Run("baseline ratio passes", func(t *testing.T) {
+		var failures []string
+		out := checkRequirements([]requirement{{name: "BenchmarkA", ratio: 2.0}}, base, cur, &failures)
+		if len(failures) != 0 {
+			t.Fatalf("unexpected failures: %v", failures)
+		}
+		if !strings.Contains(out, "2.50x vs baseline") {
+			t.Fatalf("report missing measured ratio:\n%s", out)
+		}
+	})
+
+	t.Run("sibling ratio passes and fails", func(t *testing.T) {
+		var failures []string
+		checkRequirements([]requirement{
+			{name: "BenchmarkB/mode=fast", reference: "BenchmarkB/mode=slow", ratio: 2.0},
+			{name: "BenchmarkB/mode=barely", reference: "BenchmarkB/mode=slow", ratio: 2.0},
+		}, base, cur, &failures)
+		if len(failures) != 1 {
+			t.Fatalf("want exactly the below-ratio pin to fail, got %v", failures)
+		}
+		if !strings.Contains(failures[0], "BenchmarkB/mode=barely") {
+			t.Fatalf("wrong failing pin: %v", failures)
+		}
+	})
+
+	t.Run("missing bench warns instead of failing", func(t *testing.T) {
+		var failures []string
+		out := checkRequirements([]requirement{
+			{name: "BenchmarkZ/workers=all", reference: "BenchmarkZ/workers=1", ratio: 2.0},
+			{name: "BenchmarkB/mode=fast", reference: "BenchmarkGone", ratio: 2.0},
+			{name: "BenchmarkNotInBaseline", ratio: 2.0},
+		}, base, cur, &failures)
+		if len(failures) != 0 {
+			t.Fatalf("missing benches must not fail the gate: %v", failures)
+		}
+		for _, want := range []string{"not in this run", "reference BenchmarkGone not in this run", "not in the baseline"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("report missing %q:\n%s", want, out)
+			}
+		}
+	})
+}

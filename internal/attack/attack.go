@@ -143,6 +143,13 @@ type session struct {
 	// working set is L2-resident after warm-up).
 	latHit, latMiss uint64
 
+	// bt is the target's batch surface, if it has one; the synchronous
+	// passes run through it. blines/bhits are its reusable staging
+	// buffers.
+	bt     BatchTarget
+	blines []uint64
+	bhits  []bool
+
 	windows int
 }
 
@@ -155,6 +162,7 @@ func newSession(cfg Config, seed uint64) *session {
 		sets: cfg.Victim.MonitorSets(),
 		r:    rng.New(seed ^ 0xa77ac4),
 	}
+	s.bt, _ = s.tg.(BatchTarget)
 	ways := s.tg.AttackerWays()
 	s.d = cfg.Probe.split(ways)
 	s.latHit = uint64(cfg.Profile.L1Latency)
@@ -209,6 +217,10 @@ func (s *session) access(e *sched.Env, line uint64, req int) bool {
 // buffer (bits outside the range are left as they were). The reloads
 // re-prime the touched ways as they go.
 func (s *session) pass(from, to int, e *sched.Env) {
+	if e == nil && s.bt != nil {
+		s.passBatch(from, to)
+		return
+	}
 	for i := range s.sets {
 		mask := s.obs[i]
 		for w := from; w < to; w++ {
@@ -218,6 +230,38 @@ func (s *session) pass(from, to int, e *sched.Env) {
 			} else {
 				mask |= bit
 			}
+		}
+		s.obs[i] = mask
+	}
+}
+
+// passBatch is the synchronous pass through the target's batch
+// surface: the whole pass — every monitored set's [from, to) span, in
+// the same fixed order — executes as one AccessBatch call, and the
+// hit bits fold into the observation masks afterwards.
+func (s *session) passBatch(from, to int) {
+	need := len(s.sets) * (to - from)
+	if cap(s.blines) < need {
+		s.blines = make([]uint64, need)
+		s.bhits = make([]bool, need)
+	}
+	blines := s.blines[:0]
+	for i := range s.sets {
+		blines = append(blines, s.lines[i][from:to]...)
+	}
+	hits := s.bhits[:need]
+	s.bt.AccessBatch(blines, ReqAttacker, hits)
+	k := 0
+	for i := range s.sets {
+		mask := s.obs[i]
+		for w := from; w < to; w++ {
+			bit := uint16(1) << uint(w)
+			if hits[k] {
+				mask &^= bit
+			} else {
+				mask |= bit
+			}
+			k++
 		}
 		s.obs[i] = mask
 	}

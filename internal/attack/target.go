@@ -151,17 +151,45 @@ func lineAddr(line uint64) mem.Addr {
 	return mem.Addr{Virt: line * 64, Phys: line * 64, VirtLine: line, PhysLine: line}
 }
 
+// BatchTarget is the optional batch surface of a Target: loads of
+// lines in order on behalf of requestor with the hit bits written to
+// hits, bit-identical to per-line Access calls. The synchronous attack
+// session routes its prime/probe passes through it when the target
+// provides one.
+type BatchTarget interface {
+	AccessBatch(lines []uint64, requestor int, hits []bool)
+}
+
 // hierTarget adapts the full hierarchy (baseline and both PL-cache
 // variants).
 type hierTarget struct {
 	h    *hier.Hierarchy
 	lock bool
 	ways int
+
+	// Scratch buffers of AccessBatch, reused across passes.
+	baddrs []mem.Addr
+	bres   []hier.Result
 }
 
 func (t *hierTarget) Access(line uint64, requestor int) bool {
 	res := t.h.Load(lineAddr(line), requestor)
 	return res.Level == hier.LevelL1 && !res.UtagMiss
+}
+
+func (t *hierTarget) AccessBatch(lines []uint64, requestor int, hits []bool) {
+	if cap(t.baddrs) < len(lines) {
+		t.baddrs = make([]mem.Addr, len(lines))
+		t.bres = make([]hier.Result, len(lines))
+	}
+	addrs, res := t.baddrs[:len(lines)], t.bres[:len(lines)]
+	for i, ln := range lines {
+		addrs[i] = lineAddr(ln)
+	}
+	t.h.LoadBatch(addrs, requestor, res)
+	for i := range res {
+		hits[i] = res[i].Level == hier.LevelL1 && !res[i].UtagMiss
+	}
 }
 
 func (t *hierTarget) WarmVictim(lines []uint64) {

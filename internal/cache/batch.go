@@ -1,0 +1,237 @@
+package cache
+
+// Batch execution: the per-access API costs a call, a config check and
+// a counter lookup per reference; the figure and table drivers issue
+// hundreds of millions of references whose requests are known up front.
+// AccessBatch runs a pre-resolved request slice through one tight loop
+// over the line slab and the packed replacement state, bit-identical to
+// the per-access path (the FuzzBatchEquivalence target pins this) and
+// allocation-free once the per-requestor counter table covers the
+// requestors in the batch.
+
+// AccessBatch performs reqs in order, writing the i'th access's Result
+// to out[i] (out must be at least as long as reqs, or nil to discard
+// the results — the eviction-study loops only inspect state between
+// batches). Results, Stats, replacement-state evolution and RNG draw
+// order are bit-identical to calling Access once per request.
+func (c *Cache) AccessBatch(reqs []Request, out []Result) {
+	c.AccessBatchStats(reqs, out, &c.stats, &c.perReq)
+}
+
+// AccessBatchStats is AccessBatch with caller-owned counters: events
+// are counted into st and perReq instead of the cache's own blocks.
+// The set-partitioned parallel executor (internal/trace) gives each
+// partition a private counter pair and merges them in fixed partition
+// order through MergeStats, keeping parallel output byte-identical to
+// serial.
+func (c *Cache) AccessBatchStats(reqs []Request, out []Result, st *Stats, perReq *[]Stats) {
+	if out != nil && len(out) < len(reqs) {
+		panic("cache: AccessBatch output slice shorter than request slice")
+	}
+	if c.cfg.TrackUtags || c.cfg.PartitionLocked || c.cfg.LockReplacementState {
+		// Feature-carrying configs share the full per-access path; the
+		// batch still saves the per-call counter lookups.
+		lastReq := -1
+		var rs *Stats
+		for i := range reqs {
+			req := &reqs[i]
+			if req.Requestor != lastReq {
+				if req.Requestor < 0 {
+					panic("cache: negative requestor")
+				}
+				rs = growStats(perReq, req.Requestor)
+				lastReq = req.Requestor
+			}
+			res := c.accessInto(*req, st, rs)
+			if out != nil {
+				out[i] = res
+			}
+		}
+		return
+	}
+
+	// Plain configs — every figure/table driver — take the specialized
+	// loop: no lock or utag handling, install inlined, geometry hoisted,
+	// and counters accumulated in locals, flushed to st and rs once per
+	// requestor run (every event counts into both blocks identically on
+	// this path, and only the batch's final counter values are
+	// observable, so the deferred flush is exact).
+	setMask, setShift, ways := c.setMask, c.setShift, c.ways
+	repl := c.repl
+	lastReq := -1
+	var rs *Stats
+	var nAcc, nHit, nMiss, nEv, nXev uint64
+	for i := range reqs {
+		req := &reqs[i]
+		if req.Requestor != lastReq {
+			if req.Requestor < 0 {
+				panic("cache: negative requestor")
+			}
+			if rs != nil {
+				flushCounters(st, rs, &nAcc, &nHit, &nMiss, &nEv, &nXev)
+			}
+			// Growing the table may reallocate it, so the cached
+			// pointer is refreshed on every requestor change.
+			rs = growStats(perReq, req.Requestor)
+			lastReq = req.Requestor
+		}
+		if req.Op != OpLoad {
+			// Lock ops still flip line flag bits even outside the PL
+			// configs; keep them on the shared path.
+			res := c.accessInto(*req, st, rs)
+			if out != nil {
+				out[i] = res
+			}
+			continue
+		}
+		set := int(req.PhysLine & setMask)
+		tag := req.PhysLine >> setShift
+		base := set * ways
+		lines := c.lines[base : base+ways]
+		nAcc++
+
+		// One pass finds both the hit way and the first invalid way: a
+		// hit is never an invalid way, so breaking on the hit cannot
+		// skip a fill slot the miss path would have used.
+		hit, way := -1, -1
+		for w := range lines {
+			if lines[w].flags&lineValid == 0 {
+				if way < 0 {
+					way = w
+				}
+				continue
+			}
+			if lines[w].tag == tag {
+				hit = w
+				break
+			}
+		}
+		if hit >= 0 {
+			nHit++
+			repl.Touch(set, hit)
+			if out != nil {
+				out[i] = Result{Hit: true, Way: hit}
+			}
+			continue
+		}
+
+		nMiss++
+		if way < 0 {
+			way = repl.Victim(set)
+			ln := &lines[way]
+			nEv++
+			if int(ln.owner) != req.Requestor {
+				nXev++
+			}
+			if out != nil {
+				// Evicted must read the victim's tag before the install
+				// overwrites it.
+				out[i] = Result{Way: way, Evicted: ln.tag<<setShift | uint64(set), DidEvict: true}
+			}
+		} else if out != nil {
+			out[i] = Result{Way: way}
+		}
+		ln := &lines[way]
+		ln.tag = tag
+		ln.flags = lineValid
+		ln.owner = int32(req.Requestor)
+		repl.Fill(set, way)
+	}
+	if rs != nil {
+		flushCounters(st, rs, &nAcc, &nHit, &nMiss, &nEv, &nXev)
+	}
+}
+
+// flushCounters adds the fast loop's local event counts to both the
+// aggregate and the per-requestor block and zeroes them.
+func flushCounters(st, rs *Stats, nAcc, nHit, nMiss, nEv, nXev *uint64) {
+	st.Accesses += *nAcc
+	rs.Accesses += *nAcc
+	st.Hits += *nHit
+	rs.Hits += *nHit
+	st.Misses += *nMiss
+	rs.Misses += *nMiss
+	st.Evictions += *nEv
+	rs.Evictions += *nEv
+	st.CrossEvictions += *nXev
+	rs.CrossEvictions += *nXev
+	*nAcc, *nHit, *nMiss, *nEv, *nXev = 0, 0, 0, 0, 0
+}
+
+// AllResident reports whether every listed physical line is currently
+// valid in its set. The trace executors call it, read-only, before
+// applying a run plan: all distinct lines of a span resident at span
+// start implies (by induction — hits never evict) that every record of
+// the span hits, so the plan's bulk replay is exact.
+func (c *Cache) AllResident(physLines []uint64) bool {
+	for _, pl := range physLines {
+		set := int(pl & c.setMask)
+		tag := pl >> c.setShift
+		lines := c.set(set)
+		found := false
+		for w := range lines {
+			if lines[w].flags&lineValid != 0 && lines[w].tag == tag {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TouchLine applies the hit-path replacement touch to the resident
+// line, reporting whether it was found. It moves no counters and must
+// not be used under TrackUtags or LockReplacementState configs (the
+// trace executors only reach it where run analysis is enabled, which
+// excludes both).
+func (c *Cache) TouchLine(physLine uint64) bool {
+	set := int(physLine & c.setMask)
+	tag := physLine >> c.setShift
+	lines := c.set(set)
+	for w := range lines {
+		if lines[w].flags&lineValid != 0 && lines[w].tag == tag {
+			c.repl.Touch(set, w)
+			return true
+		}
+	}
+	return false
+}
+
+// CreditLoadHits counts n plain load hits for requestor — the bulk
+// form of the fast loop's hit counters, used by run-plan replay where
+// the per-record events are known without executing them.
+func (c *Cache) CreditLoadHits(requestor int, n uint64) {
+	if requestor < 0 {
+		panic("cache: negative requestor")
+	}
+	c.stats.Accesses += n
+	c.stats.Hits += n
+	rs := c.reqStats(requestor)
+	rs.Accesses += n
+	rs.Hits += n
+}
+
+// AccessStats is Access with caller-owned counters, the single-access
+// form of AccessBatchStats. Set-partitioned executors use it for the
+// records they cannot batch.
+func (c *Cache) AccessStats(req Request, st *Stats, perReq *[]Stats) Result {
+	if req.Requestor < 0 {
+		panic("cache: negative requestor")
+	}
+	return c.accessInto(req, st, growStats(perReq, req.Requestor))
+}
+
+// MergeStats folds a partition's private counters (accumulated by
+// AccessBatchStats) into the cache's own, growing the per-requestor
+// table exactly as the serial path would have. Callers must merge
+// partitions in a fixed order covering every entry, including zero
+// ones, so the table's final length matches serial execution.
+func (c *Cache) MergeStats(st Stats, perReq []Stats) {
+	c.stats.Add(st)
+	for i := range perReq {
+		c.reqStats(i).Add(perReq[i])
+	}
+}

@@ -124,6 +124,18 @@ type Stats struct {
 	UtagMisses     uint64
 }
 
+// Add accumulates o into s field-wise. The set-partitioned executor
+// uses it to fold per-partition counter blocks back together.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.CrossEvictions += o.CrossEvictions
+	s.Bypasses += o.Bypasses
+	s.UtagMisses += o.UtagMisses
+}
+
 // MissRate returns Misses/Accesses, or 0 when idle.
 func (s Stats) MissRate() float64 {
 	if s.Accesses == 0 {
@@ -132,12 +144,22 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// line flag bits.
+const (
+	lineValid  = 1 << 0
+	lineLocked = 1 << 1
+)
+
+// line is one cache line's metadata. It is deliberately 16 bytes: the
+// line slab is the bulk of a simulated machine's memory, it is zeroed
+// wholesale on every Reset (the per-cell cost the trial loops pay), and
+// a whole set of 8 ways fits two cache lines of host memory during the
+// lookup scan.
 type line struct {
-	valid  bool
-	tag    uint64
-	locked bool
-	utag   uint64 // hash of the last linear line number that touched this line
-	owner  int
+	tag   uint64
+	utag  uint8 // hash of the last linear line number that touched this line
+	flags uint8 // lineValid | lineLocked
+	owner int32
 }
 
 // reqStatsPrealloc is the initial per-requestor counter capacity. The
@@ -211,16 +233,23 @@ func (c *Cache) set(set int) []line {
 // predictor. The real hash is undocumented; any deterministic mixing of the
 // linear line number preserves the behaviour the paper exploits (distinct
 // linear addresses virtually never collide).
-func utagHash(linearLine uint64) uint64 {
+func utagHash(linearLine uint64) uint8 {
 	x := linearLine * 0x9e3779b97f4a7c15
-	return (x ^ x>>29) & 0xff
+	return uint8(x ^ x>>29)
 }
 
 func (c *Cache) reqStats(requestor int) *Stats {
-	for len(c.perReq) <= requestor {
-		c.perReq = append(c.perReq, Stats{})
+	return growStats(&c.perReq, requestor)
+}
+
+// growStats extends a per-requestor counter table to cover requestor
+// and returns its entry. The returned pointer is invalidated by any
+// later growth of the same table.
+func growStats(perReq *[]Stats, requestor int) *Stats {
+	for len(*perReq) <= requestor {
+		*perReq = append(*perReq, Stats{})
 	}
-	return &c.perReq[requestor]
+	return &(*perReq)[requestor]
 }
 
 // Access performs one access, updating line state, replacement state, lock
@@ -231,29 +260,35 @@ func (c *Cache) Access(req Request) Result {
 	if req.Requestor < 0 {
 		panic("cache: negative requestor")
 	}
+	return c.accessInto(req, &c.stats, c.reqStats(req.Requestor))
+}
+
+// accessInto is the full access path, counting events into st and rs
+// (the aggregate and per-requestor blocks — the cache's own under
+// Access, a partition's private pair under AccessBatchStats).
+func (c *Cache) accessInto(req Request, st, rs *Stats) Result {
 	set := int(req.PhysLine & c.setMask)
 	tag := req.PhysLine >> c.setShift
 	lines := c.set(set)
 
-	c.stats.Accesses++
-	rs := c.reqStats(req.Requestor)
+	st.Accesses++
 	rs.Accesses++
 
 	// Lookup.
 	for w := range lines {
 		ln := &lines[w]
-		if !ln.valid || ln.tag != tag {
+		if ln.flags&lineValid == 0 || ln.tag != tag {
 			continue
 		}
 		// Hit.
 		res := Result{Hit: true, Way: w}
-		c.stats.Hits++
+		st.Hits++
 		rs.Hits++
 		if c.cfg.TrackUtags {
 			h := utagHash(req.LinearLine)
 			if ln.utag != h {
 				res.UtagMiss = true
-				c.stats.UtagMisses++
+				st.UtagMisses++
 				rs.UtagMisses++
 			}
 			ln.utag = h
@@ -261,7 +296,7 @@ func (c *Cache) Access(req Request) Result {
 		// PL-cache fix: hits to locked lines leave replacement state
 		// untouched so the LRU channel cannot be modulated through
 		// protected lines.
-		if !(c.cfg.LockReplacementState && ln.locked) {
+		if !(c.cfg.LockReplacementState && ln.flags&lineLocked != 0) {
 			c.repl.Touch(set, w)
 		}
 		c.applyLockOp(ln, req.Op)
@@ -269,22 +304,22 @@ func (c *Cache) Access(req Request) Result {
 	}
 
 	// Miss.
-	c.stats.Misses++
+	st.Misses++
 	rs.Misses++
 
 	// Prefer invalid ways: replacement policies are only consulted when
 	// the set is full.
 	for w := range lines {
-		if !lines[w].valid {
+		if lines[w].flags&lineValid == 0 {
 			c.install(set, w, tag, req)
 			return Result{Hit: false, Way: w}
 		}
 	}
 
 	victim := c.repl.Victim(set)
-	if c.cfg.PartitionLocked && lines[victim].locked {
+	if c.cfg.PartitionLocked && lines[victim].flags&lineLocked != 0 {
 		// Figure 10, left branch: victim locked, handle uncached.
-		c.stats.Bypasses++
+		st.Bypasses++
 		rs.Bypasses++
 		res := Result{Hit: false, Bypassed: true, Way: -1}
 		if !c.cfg.LockReplacementState {
@@ -298,10 +333,10 @@ func (c *Cache) Access(req Request) Result {
 
 	evicted := c.lineNumber(set, lines[victim].tag)
 	res := Result{Hit: false, Way: victim, Evicted: evicted, DidEvict: true}
-	c.stats.Evictions++
+	st.Evictions++
 	rs.Evictions++
-	if lines[victim].owner != req.Requestor {
-		c.stats.CrossEvictions++
+	if int(lines[victim].owner) != req.Requestor {
+		st.CrossEvictions++
 		rs.CrossEvictions++
 	}
 	c.install(set, victim, tag, req)
@@ -311,10 +346,9 @@ func (c *Cache) Access(req Request) Result {
 // install writes the line into (set, way) and updates replacement state.
 func (c *Cache) install(set, way int, tag uint64, req Request) {
 	ln := &c.lines[set*c.ways+way]
-	ln.valid = true
 	ln.tag = tag
-	ln.locked = false
-	ln.owner = req.Requestor
+	ln.flags = lineValid
+	ln.owner = int32(req.Requestor)
 	if c.cfg.TrackUtags {
 		ln.utag = utagHash(req.LinearLine)
 	}
@@ -325,9 +359,9 @@ func (c *Cache) install(set, way int, tag uint64, req Request) {
 func (c *Cache) applyLockOp(ln *line, op Op) {
 	switch op {
 	case OpLock:
-		ln.locked = true
+		ln.flags |= lineLocked
 	case OpUnlock:
-		ln.locked = false
+		ln.flags &^= lineLocked
 	}
 }
 
@@ -337,7 +371,7 @@ func (c *Cache) Contains(physLine uint64) bool {
 	set := c.SetIndex(physLine)
 	tag := c.tagOf(physLine)
 	for _, ln := range c.set(set) {
-		if ln.valid && ln.tag == tag {
+		if ln.flags&lineValid != 0 && ln.tag == tag {
 			return true
 		}
 	}
@@ -349,8 +383,8 @@ func (c *Cache) IsLocked(physLine uint64) bool {
 	set := c.SetIndex(physLine)
 	tag := c.tagOf(physLine)
 	for _, ln := range c.set(set) {
-		if ln.valid && ln.tag == tag {
-			return ln.locked
+		if ln.flags&lineValid != 0 && ln.tag == tag {
+			return ln.flags&lineLocked != 0
 		}
 	}
 	return false
@@ -366,9 +400,8 @@ func (c *Cache) Flush(physLine uint64) bool {
 	lines := c.set(set)
 	for w := range lines {
 		ln := &lines[w]
-		if ln.valid && ln.tag == tag {
-			ln.valid = false
-			ln.locked = false
+		if ln.flags&lineValid != 0 && ln.tag == tag {
+			ln.flags = 0
 			return true
 		}
 	}
@@ -389,6 +422,10 @@ func (c *Cache) InvalidateAll() {
 func (c *Cache) Reset() {
 	c.InvalidateAll()
 	c.ResetStats()
+	// Truncate (not just zero) the per-requestor table so a pooled
+	// machine is indistinguishable from a freshly constructed one,
+	// whose table starts empty.
+	c.perReq = c.perReq[:0]
 }
 
 // ResetStats zeroes all counters.
@@ -431,7 +468,7 @@ func (c *Cache) SetOccupancy(set int) []struct {
 		OK   bool
 	}, c.cfg.Ways)
 	for w, ln := range c.set(set) {
-		if ln.valid {
+		if ln.flags&lineValid != 0 {
 			out[w].Line = c.lineNumber(set, ln.tag)
 			out[w].OK = true
 		}

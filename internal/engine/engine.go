@@ -12,11 +12,38 @@ import (
 
 // Job is one independent experiment cell: a name for progress
 // reporting, the seed from which the cell derives all randomness, and
-// the function that runs it.
+// the function that runs it. Exactly one of Run and RunW must be set;
+// RunW additionally receives the worker's Workspace so consecutive
+// cells on one worker can share a reusable simulated machine.
 type Job[T any] struct {
 	Name string
 	Seed uint64
 	Run  func(seed uint64) T
+	RunW func(seed uint64, ws *Workspace) T
+}
+
+// Workspace is per-worker keyed storage for state that is expensive to
+// construct and cheap to Reset: simulated machines, scratch buffers.
+// Each worker goroutine owns exactly one Workspace for the lifetime of
+// a Run call, so values need no locking — but a job reusing a pooled
+// machine MUST return it to a seed-determined state (Reset, Reseed)
+// before use, or results would depend on which worker ran which cell.
+type Workspace struct {
+	m map[string]any
+}
+
+// Get returns the value stored under key, constructing it with mk on
+// the worker's first use.
+func (w *Workspace) Get(key string, mk func() any) any {
+	if w.m == nil {
+		w.m = make(map[string]any)
+	}
+	v, ok := w.m[key]
+	if !ok {
+		v = mk()
+		w.m[key] = v
+	}
+	return v
 }
 
 // Result pairs a job's output with its identity and wall-time cost.
@@ -101,17 +128,23 @@ func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 		opts.Progress(Event{Index: i, Done: done, Total: len(jobs), Name: jobs[i].Name, Wall: wall})
 		mu.Unlock()
 	}
-	runOne := func(i int) {
+	runOne := func(i int, ws *Workspace) {
 		start := time.Now()
-		v := jobs[i].Run(jobs[i].Seed)
+		var v T
+		if jobs[i].RunW != nil {
+			v = jobs[i].RunW(jobs[i].Seed, ws)
+		} else {
+			v = jobs[i].Run(jobs[i].Seed)
+		}
 		wall := time.Since(start)
 		out[i] = Result[T]{Name: jobs[i].Name, Seed: jobs[i].Seed, Value: v, Wall: wall}
 		finish(i, wall)
 	}
 
 	if workers == 1 {
+		ws := &Workspace{}
 		for i := range jobs {
-			runOne(i)
+			runOne(i, ws)
 		}
 		return out
 	}
@@ -122,8 +155,9 @@ func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ws := &Workspace{}
 			for i := range idx {
-				runOne(i)
+				runOne(i, ws)
 			}
 		}()
 	}

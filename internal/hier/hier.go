@@ -135,6 +135,11 @@ type Hierarchy struct {
 
 	// Per-requestor stride-prefetcher state, grown on demand.
 	pref []stridePref
+
+	// Scratch buffers of the batch paths (see batch.go), allocated on
+	// first use and reused across calls.
+	breqs []cache.Request
+	bres  []cache.Result
 }
 
 // prefPrealloc matches the cache's per-requestor counter pre-sizing.
@@ -191,11 +196,20 @@ func (h *Hierarchy) LoadOp(addr mem.Addr, requestor int, op cache.Op) Result {
 }
 
 func (h *Hierarchy) load(addr mem.Addr, requestor int, op cache.Op, allowPrefetch bool) Result {
-	p := h.cfg.Profile
 	r1 := h.l1.Access(cache.Request{
 		PhysLine: addr.PhysLine, LinearLine: addr.VirtLine,
 		Requestor: requestor, Op: op,
 	})
+	return h.finish(addr, requestor, r1, allowPrefetch)
+}
+
+// finish completes a load whose L1 access already happened: latency
+// selection for hits, the walk through L2/LLC/memory for misses, and
+// the prefetch trigger. Splitting it from load lets the batch paths
+// (LoadBatch, LoadTrace) run the L1 access through cache.AccessBatch
+// and still share the exact per-access completion logic.
+func (h *Hierarchy) finish(addr mem.Addr, requestor int, r1 cache.Result, allowPrefetch bool) Result {
+	p := h.cfg.Profile
 	if r1.Hit {
 		res := Result{Level: LevelL1, Latency: p.L1Latency, L1Hit: true}
 		if r1.UtagMiss {
@@ -207,8 +221,8 @@ func (h *Hierarchy) load(addr mem.Addr, requestor int, op cache.Op, allowPrefetc
 		return res
 	}
 
-	// L1 miss: the line comes from L2 or beyond. The L1 Access call above
-	// already installed the line (or bypassed, for a locked PL victim).
+	// L1 miss: the line comes from L2 or beyond. The L1 access already
+	// installed the line (or bypassed, for a locked PL victim).
 	res := Result{Bypassed: r1.Bypassed}
 	r2 := h.l2.Access(cache.Request{
 		PhysLine: addr.PhysLine, LinearLine: addr.VirtLine,

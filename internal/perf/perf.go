@@ -81,18 +81,35 @@ func RunBenchmark(gen workload.Generator, cfg Config) Result {
 
 	cycles := baseCPI * float64(cfg.Instructions)
 	refs := cfg.Instructions / cfg.MemRefEvery
-	for i := 0; i < refs; i++ {
-		line := gen.Next().Addr / 64
-		res := l1.Access(cache.Request{PhysLine: line})
-		if res.Hit {
-			// L1 hits are fully pipelined in the base CPI.
-			continue
+
+	// The reference stream is generator-driven — the addresses never
+	// depend on cache outcomes — so it executes as L1 batches with the
+	// misses walked afterwards in record order. That keeps the CPI
+	// accumulation order (float addition does not commute) and the RNG
+	// draw order exact: the L2 is Tree-PLRU and never draws from the
+	// shared generator, so batching the L1 pass ahead of the L2 walk
+	// reorders no draws even under a Random L1 policy.
+	const chunk = 4096
+	reqs := make([]cache.Request, chunk)
+	res := make([]cache.Result, chunk)
+	for done := 0; done < refs; {
+		n := min(chunk, refs-done)
+		for i := 0; i < n; i++ {
+			reqs[i].PhysLine = gen.Next().Addr / 64
 		}
-		penalty := float64(l2Lat - l1Lat)
-		if !l2.Access(cache.Request{PhysLine: line}).Hit {
-			penalty += memLat
+		l1.AccessBatch(reqs[:n], res[:n])
+		for i := 0; i < n; i++ {
+			if res[i].Hit {
+				// L1 hits are fully pipelined in the base CPI.
+				continue
+			}
+			penalty := float64(l2Lat - l1Lat)
+			if !l2.Access(cache.Request{PhysLine: reqs[i].PhysLine}).Hit {
+				penalty += memLat
+			}
+			cycles += penalty * (1 - overlap)
 		}
-		cycles += penalty * (1 - overlap)
+		done += n
 	}
 	return Result{
 		Benchmark:   gen.Name(),

@@ -34,16 +34,29 @@ type SetArray struct {
 	sets int
 	ways int
 
-	// words holds the packed per-set word for Tree-PLRU, Bit-PLRU and
-	// FIFO; it is nil for True-LRU and Random.
+	// words holds the packed per-set word for Tree-PLRU, Bit-PLRU, FIFO
+	// and (for ways <= 8) True-LRU; it is nil for wide True-LRU and
+	// Random.
 	words []uint64
-	// ages is the True-LRU sets×ways age slab; nil for the other kinds.
+	// ages is the True-LRU sets×ways age slab, used only when ways > 8
+	// (the age vector no longer fits one word); nil otherwise.
 	ages []uint8
 
 	depth int       // log2(ways), Tree-PLRU victim/update walk length
 	full  uint64    // Bit-PLRU all-ways-set mask
 	r     *rng.Rand // Random victim source
+
+	// Packed True-LRU constants (ways <= 8): one byte lane per way.
+	lruMask  uint64 // 0x01 in every valid lane
+	lruPad   uint64 // 0xff in every INVALID lane (keeps them out of searches)
+	lruReset uint64 // the power-on age vector, lane w = ways-1-w
 }
+
+// SWAR lane constants for the packed True-LRU age vector.
+const (
+	lruLanes = 0x0101010101010101 // 0x01 in every byte lane
+	lruHigh  = 0x8080808080808080 // the high bit of every byte lane
+)
 
 // NewSetArray builds packed replacement state for sets sets of the given
 // associativity. It enforces the same constructor contract as New: ways
@@ -63,7 +76,18 @@ func NewSetArray(kind Kind, sets, ways int, r *rng.Rand) *SetArray {
 	a := &SetArray{kind: kind, sets: sets, ways: ways}
 	switch kind {
 	case TrueLRU:
-		a.ages = make([]uint8, sets*ways)
+		if ways <= 8 {
+			// The whole age vector fits one word: byte lane w holds
+			// way w's age, updated branchlessly (see touchLRUPacked).
+			a.words = make([]uint64, sets)
+			a.lruMask = lruLanes >> uint(64-8*ways)
+			a.lruPad = ^(a.lruMask * 0xff)
+			for w := 0; w < ways; w++ {
+				a.lruReset |= uint64(ways-1-w) << uint(8*w)
+			}
+		} else {
+			a.ages = make([]uint8, sets*ways)
+		}
 	case TreePLRU:
 		if ways&(ways-1) != 0 {
 			panic("replacement: Tree-PLRU requires power-of-two associativity")
@@ -111,7 +135,11 @@ func (a *SetArray) Touch(set, way int) {
 	case BitPLRU:
 		a.touchBit(set, way)
 	case TrueLRU:
-		a.touchLRU(set, way)
+		if a.ages == nil {
+			a.touchLRUPacked(set, way)
+		} else {
+			a.touchLRU(set, way)
+		}
 	}
 }
 
@@ -129,7 +157,11 @@ func (a *SetArray) Fill(set, way int) {
 	case BitPLRU:
 		a.touchBit(set, way)
 	case TrueLRU:
-		a.touchLRU(set, way)
+		if a.ages == nil {
+			a.touchLRUPacked(set, way)
+		} else {
+			a.touchLRU(set, way)
+		}
 	case FIFO:
 		if uint64(way) == a.words[set] {
 			a.words[set] = (a.words[set] + 1) % uint64(a.ways)
@@ -150,6 +182,9 @@ func (a *SetArray) Victim(set int) int {
 	case BitPLRU:
 		return a.victimBit(set)
 	case TrueLRU:
+		if a.ages == nil {
+			return a.victimLRUPacked(set)
+		}
 		return a.victimLRU(set)
 	case FIFO:
 		return int(a.words[set])
@@ -224,6 +259,34 @@ func (a *SetArray) touchLRU(set, way int) {
 	row[way] = 0
 }
 
+// touchLRUPacked is the one-word form of touchLRU. Ages always form a
+// permutation of 0..ways-1 (ResetSet builds one and every touch
+// preserves it), so every lane value is <= 7 and the classic
+// "has byte less than n" SWAR predicate is exact: lanes strictly
+// younger than the touched way's old age gain a flag in their high
+// bit, are incremented by the flag shifted down, and the touched lane
+// is cleared to most-recently-used. Invalid lanes (ways < 8) stay 0
+// because the increment is masked to valid lanes.
+func (a *SetArray) touchLRUPacked(set, way int) {
+	x := a.words[set]
+	sh := uint(8 * way)
+	old := x >> sh & 0xff
+	lt := (x - old*lruLanes) &^ x & lruHigh
+	x += lt >> 7 & a.lruMask
+	x &^= 0xff << sh
+	a.words[set] = x
+}
+
+// victimLRUPacked finds the lane holding age ways-1. The permutation
+// invariant guarantees exactly one valid lane matches; invalid lanes
+// are forced non-zero by lruPad so the zero-byte search cannot pick
+// them up.
+func (a *SetArray) victimLRUPacked(set int) int {
+	y := (a.words[set] ^ uint64(a.ways-1)*lruLanes) | a.lruPad
+	z := (y - lruLanes) &^ y & lruHigh
+	return bits.TrailingZeros64(z) >> 3
+}
+
 func (a *SetArray) victimLRU(set int) int {
 	row := a.ages[set*a.ways : set*a.ways+a.ways]
 	best, bestAge := 0, -1
@@ -250,6 +313,10 @@ func (a *SetArray) ResetSet(set int) {
 		checkSet(set, a.sets)
 	}
 	if a.kind == TrueLRU {
+		if a.ages == nil {
+			a.words[set] = a.lruReset
+			return
+		}
 		row := a.ages[set*a.ways : set*a.ways+a.ways]
 		for w := range row {
 			row[w] = uint8(a.ways - 1 - w)
@@ -266,14 +333,19 @@ func (a *SetArray) ResetSet(set int) {
 func (a *SetArray) StateString(set int) string {
 	switch a.kind {
 	case TrueLRU:
-		row := a.ages[set*a.ways : set*a.ways+a.ways]
-		buf := make([]byte, 0, 4+3*len(row))
+		buf := make([]byte, 0, 4+3*a.ways)
 		buf = append(buf, "age:"...)
-		for w, age := range row {
+		for w := 0; w < a.ways; w++ {
 			if w > 0 {
 				buf = append(buf, ',')
 			}
-			buf = strconv.AppendUint(buf, uint64(age), 10)
+			age := uint64(0)
+			if a.ages == nil {
+				age = a.words[set] >> uint(8*w) & 0xff
+			} else {
+				age = uint64(a.ages[set*a.ways+w])
+			}
+			buf = strconv.AppendUint(buf, age, 10)
 		}
 		return string(buf)
 	case TreePLRU:

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/replacement"
+)
+
+// ExecCache replays tr against a bare cache, writing the i'th record's
+// result to out[i]. It is bit-identical to issuing the records through
+// Access one by one.
+func ExecCache(c *cache.Cache, tr *Trace, out []cache.Result) {
+	c.AccessBatch(tr.Reqs, out)
+}
+
+// ExecCacheParallel replays tr split by set index across at most
+// workers goroutines. Disjoint sets share no line or replacement
+// state, each set's records execute in program order within one
+// partition, and per-partition counters merge in fixed partition
+// order — so results, final cache state and Stats are byte-identical
+// to serial execution. Traces against Random-policy caches fall back
+// to serial (victim draws come from one shared generator whose draw
+// order must match the program order), as do single-set caches and
+// workers <= 1.
+func ExecCacheParallel(c *cache.Cache, tr *Trace, out []cache.Result, workers int) {
+	sets := c.Sets()
+	if workers > sets {
+		workers = sets
+	}
+	if workers <= 1 || sets < 2 || c.Config().Policy == replacement.Random {
+		ExecCache(c, tr, out)
+		return
+	}
+	if len(out) < len(tr.Reqs) {
+		panic("trace: ExecCacheParallel output slice shorter than trace")
+	}
+
+	// Partition record indices by set, preserving program order.
+	parts := make([][]int32, workers)
+	setMask := uint64(sets - 1)
+	for i := range tr.Reqs {
+		p := int(tr.Reqs[i].PhysLine&setMask) % workers
+		parts[p] = append(parts[p], int32(i))
+	}
+
+	type partCounters struct {
+		st     cache.Stats
+		perReq []cache.Stats
+	}
+	counters := make([]partCounters, workers)
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		if len(parts[p]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			idx := parts[p]
+			reqs := make([]cache.Request, len(idx))
+			res := make([]cache.Result, len(idx))
+			for j, i := range idx {
+				reqs[j] = tr.Reqs[i]
+			}
+			c.AccessBatchStats(reqs, res, &counters[p].st, &counters[p].perReq)
+			for j, i := range idx {
+				out[i] = res[j]
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < workers; p++ {
+		c.MergeStats(counters[p].st, counters[p].perReq)
+	}
+}

@@ -1,0 +1,360 @@
+// Package trace compiles deterministic access programs — victim
+// Sequence output, attacker prime/probe passes, figure reference
+// streams — into flat, pre-resolved request traces that the batch
+// executors replay without per-access dispatch.
+//
+// A compiled Trace is a slice of cache.Request records in program
+// order plus run-length markers over spans whose accesses PROVABLY hit
+// the L1 regardless of the cache's state when the trace is replayed.
+// The hierarchy executor (hier.LoadTrace) turns a marked span into one
+// cache.AccessBatch call and a row of pre-built L1-hit results,
+// skipping the per-access hierarchy dispatch entirely; everything
+// outside a span replays through the ordinary per-access path, so a
+// trace executes bit-identically to issuing its records one by one.
+//
+// Two sound provability rules are used while building:
+//
+//  1. The no-miss rule (any policy): an access leaves its line
+//     resident (a hit keeps it, a miss installs it — which is why the
+//     analysis is disabled for PL-cache configs, where a bypassed miss
+//     does not install). If every later record in the same set is
+//     itself provable, no miss and hence no eviction can have touched
+//     the set, so a repeat access must hit.
+//  2. The LRU stack rule (true LRU only): if strictly fewer than ways
+//     distinct lines of the set were accessed since the line's last
+//     access, the repeat access must hit. This is the classical stack
+//     property at its exact boundary: with at most ways-1 distinct
+//     intervening lines, NO line in the window — the target or any
+//     intervener — can age to ways-1 (a line's age equals the distinct
+//     lines used since its own last use, and every such count stays
+//     below ways-1 inside the window), so no miss in the window can
+//     select the target as victim. In particular a full probe pass
+//     over all ways of a set, the paper's canonical access pattern,
+//     has reuse distance exactly ways-1 and is provable. (Not sound
+//     for the PLRU approximations: a hit updates their state and can
+//     REDIRECT the next victim choice toward the line, so only rule 1
+//     applies there.)
+//
+// Prefetchers issue loads that are invisible to this analysis, and
+// lock operations interact with the LockReplacementState touch
+// suppression, so builders disable run analysis in those configs (see
+// hier.NewTraceBuilder).
+//
+// # Run plans
+//
+// Beyond marking a span, the compiler reduces it to a RunPlan: the
+// span's distinct lines in last-occurrence order plus per-requestor
+// access counts. Inside a run every record hits, and for most policies
+// a hit's ONLY state effect is the replacement touch — so the span's
+// net effect on the cache is the touches of each line's LAST access
+// (order-earlier touches are overwritten) plus bulk hit counters:
+//
+//   - True LRU: the final age permutation ranks lines by last use, so
+//     touching each distinct line once, in last-occurrence order,
+//     lands every lane exactly where the full replay would.
+//   - Tree-PLRU: each tree node points away from the LAST touched way
+//     in its subtree; replaying last occurrences in order preserves
+//     which way touched every node last.
+//   - FIFO / Random: hits do not move replacement state at all, so
+//     the plan replay is pure counter credit.
+//   - Bit-PLRU is the exception — the MRU-bit generation rollover
+//     fires on intermediate accesses, so no plan is compiled and runs
+//     replay in full.
+//
+// Executors validate a plan before applying it (every planned line
+// resident at run start — which by induction guarantees the all-hit
+// claim), making plan replay self-verifying even against a trace
+// whose analysis was misconfigured.
+package trace
+
+import (
+	"repro/internal/cache"
+	"repro/internal/replacement"
+)
+
+// Run marks the half-open record span [Start, End) as provable L1
+// hits.
+type Run struct {
+	Start, End int
+}
+
+// ReqCount is one requestor's access count within a run, in order of
+// first appearance.
+type ReqCount struct {
+	Requestor int
+	N         uint64
+}
+
+// RunPlan is the compiled fast replay of one provable-hit run: credit
+// the hit counters in bulk and touch each distinct line once, in
+// last-occurrence order (see the package comment for why that is
+// exact). Lines holds the span's distinct physical lines ascending by
+// their last record index; Reqs the per-requestor access counts.
+type RunPlan struct {
+	Lines []uint64
+	Reqs  []ReqCount
+}
+
+// Trace is a compiled access program.
+type Trace struct {
+	// Reqs are the pre-resolved records in program order.
+	Reqs []cache.Request
+	// Runs are the provable-L1-hit spans, ascending and disjoint.
+	Runs []Run
+
+	plans      []RunPlan // parallel to Runs; nil when not compiled
+	planPolicy replacement.Kind
+	planTouch  bool
+}
+
+// RunPlans returns the per-run replay plans (parallel to Runs) when
+// they are valid for a cache running the given policy with the given
+// LockReplacementState setting, and whether replay must apply the
+// plan's line touches (True-LRU and Tree-PLRU; FIFO and Random hits
+// leave replacement state alone). It returns nil for Bit-PLRU traces,
+// locked-replacement configs, and policy mismatches — callers then
+// replay runs in full.
+func (tr *Trace) RunPlans(pol replacement.Kind, lockReplacementState bool) ([]RunPlan, bool) {
+	if tr.plans == nil || lockReplacementState || pol != tr.planPolicy {
+		return nil, false
+	}
+	return tr.plans, tr.planTouch
+}
+
+// Config parameterizes a Builder with the L1 geometry the provability
+// analysis reasons about.
+type Config struct {
+	Sets, Ways int
+	Policy     replacement.Kind
+	// AnalyzeRuns enables the provable-hit analysis. It must be false
+	// whenever replay-time behaviour can evict lines behind the
+	// analysis's back: PL-cache bypasses, utag tracking (which changes
+	// hit latency semantics), or a hardware prefetcher.
+	AnalyzeRuns bool
+	// LockReplacementState disables the LRU stack rule: hits to locked
+	// lines skip the replacement update, so recency can no longer be
+	// modelled from the access order alone.
+	LockReplacementState bool
+}
+
+// Builder accumulates an access program and compiles it into a Trace.
+// The zero value is not usable; construct with NewBuilder. A Builder
+// may be Reset and reused; compiled Traces alias its storage and are
+// valid until the next Reset.
+type Builder struct {
+	cfg      Config
+	setMask  uint64
+	useStack bool
+
+	reqs []cache.Request
+	runs []Run
+
+	analyze bool
+	// lastIdx[physLine] is the index of the line's most recent record.
+	lastIdx map[uint64]int
+	// lastUnprovable[set] is the index of the set's most recent record
+	// NOT proven to hit (-1 if none): any such record may miss and
+	// evict.
+	lastUnprovable []int
+	// recency[set] is the set's move-to-front list of distinct lines,
+	// capped at ways entries, for the LRU stack rule: presence means a
+	// reuse distance of at most ways-1.
+	recency [][]uint64
+
+	// Plan-compiler scratch, reused across Trace calls: the per-run
+	// Lines and Reqs slices are windows into the two flat buffers.
+	plans     []RunPlan
+	planLines []uint64
+	planReqs  []ReqCount
+	planSeen  map[uint64]struct{}
+}
+
+// NewBuilder returns a Builder for the given L1 configuration. Sets
+// must be a power of two (every geometry in the repo is).
+func NewBuilder(cfg Config) *Builder {
+	if cfg.Sets < 1 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic("trace: set count must be a positive power of two")
+	}
+	if cfg.Ways < 1 {
+		panic("trace: ways must be >= 1")
+	}
+	b := &Builder{
+		cfg:      cfg,
+		setMask:  uint64(cfg.Sets - 1),
+		useStack: cfg.Policy == replacement.TrueLRU && !cfg.LockReplacementState,
+		analyze:  cfg.AnalyzeRuns,
+	}
+	if b.analyze {
+		b.lastIdx = make(map[uint64]int)
+		b.lastUnprovable = make([]int, cfg.Sets)
+		for i := range b.lastUnprovable {
+			b.lastUnprovable[i] = -1
+		}
+		if b.useStack {
+			b.recency = make([][]uint64, cfg.Sets)
+		}
+	}
+	return b
+}
+
+// Len reports the number of records built so far.
+func (b *Builder) Len() int { return len(b.reqs) }
+
+// Load appends a plain load record.
+func (b *Builder) Load(physLine uint64, requestor int) {
+	b.append(cache.Request{PhysLine: physLine, LinearLine: physLine, Requestor: requestor})
+}
+
+// LoadOp appends a record with distinct linear line (for utag-tracking
+// hierarchies) or a PL lock/unlock side effect. Non-load ops disable
+// run analysis for the rest of the program: under the
+// LockReplacementState fix their locked lines stop updating recency.
+func (b *Builder) LoadOp(physLine, linearLine uint64, requestor int, op cache.Op) {
+	if op != cache.OpLoad {
+		b.analyze = false
+		b.runs = b.runs[:0]
+	}
+	b.append(cache.Request{PhysLine: physLine, LinearLine: linearLine, Requestor: requestor, Op: op})
+}
+
+func (b *Builder) append(req cache.Request) {
+	i := len(b.reqs)
+	b.reqs = append(b.reqs, req)
+	if !b.analyze {
+		return
+	}
+
+	set := int(req.PhysLine & b.setMask)
+	provable := false
+	if last, seen := b.lastIdx[req.PhysLine]; seen {
+		// Rule 1: no possibly-missing record in the set since the
+		// line's own last record (which left it resident).
+		provable = last >= b.lastUnprovable[set]
+	}
+	if b.useStack {
+		// Rule 2: presence in the ways-capped recency list means at
+		// most ways-1 distinct lines intervened.
+		for _, ln := range b.recency[set] {
+			if ln == req.PhysLine {
+				provable = true
+				break
+			}
+		}
+		b.touchRecency(set, req.PhysLine)
+	}
+	b.lastIdx[req.PhysLine] = i
+	if !provable {
+		b.lastUnprovable[set] = i
+		return
+	}
+	if n := len(b.runs); n > 0 && b.runs[n-1].End == i {
+		b.runs[n-1].End = i + 1
+	} else {
+		b.runs = append(b.runs, Run{Start: i, End: i + 1})
+	}
+}
+
+// touchRecency moves line to the front of the set's recency list,
+// keeping at most ways entries (a deeper position means a reuse
+// distance of at least ways — past the stack-property bound).
+func (b *Builder) touchRecency(set int, line uint64) {
+	list := b.recency[set]
+	pos := -1
+	for j, ln := range list {
+		if ln == line {
+			pos = j
+			break
+		}
+	}
+	switch {
+	case pos == 0:
+		return
+	case pos > 0:
+		copy(list[1:pos+1], list[:pos])
+		list[0] = line
+		return
+	}
+	limit := b.cfg.Ways
+	if len(list) < limit {
+		list = append(list, 0)
+	}
+	copy(list[1:], list)
+	list[0] = line
+	b.recency[set] = list
+}
+
+// Trace compiles the program built so far. The result aliases the
+// Builder's storage and is invalidated by Reset.
+func (b *Builder) Trace() *Trace {
+	tr := &Trace{Reqs: b.reqs, Runs: b.runs}
+	if b.analyze && len(b.runs) > 0 &&
+		!b.cfg.LockReplacementState && b.cfg.Policy != replacement.BitPLRU {
+		tr.plans = b.compilePlans()
+		tr.planPolicy = b.cfg.Policy
+		tr.planTouch = b.cfg.Policy == replacement.TrueLRU || b.cfg.Policy == replacement.TreePLRU
+	}
+	return tr
+}
+
+// compilePlans reduces every run to its RunPlan. Distinct lines in
+// last-occurrence order come from a reverse walk (the first sighting
+// walking backwards IS the last occurrence), reversed in place;
+// requestor counts accumulate in first-appearance order so a plan
+// replay grows the per-requestor table exactly as the full replay
+// would.
+func (b *Builder) compilePlans() []RunPlan {
+	b.plans = b.plans[:0]
+	b.planLines = b.planLines[:0]
+	b.planReqs = b.planReqs[:0]
+	if b.planSeen == nil {
+		b.planSeen = make(map[uint64]struct{})
+	}
+	for _, run := range b.runs {
+		lStart, rStart := len(b.planLines), len(b.planReqs)
+		clear(b.planSeen)
+		for i := run.End - 1; i >= run.Start; i-- {
+			ln := b.reqs[i].PhysLine
+			if _, seen := b.planSeen[ln]; !seen {
+				b.planSeen[ln] = struct{}{}
+				b.planLines = append(b.planLines, ln)
+			}
+		}
+		lines := b.planLines[lStart:]
+		for i, j := 0, len(lines)-1; i < j; i, j = i+1, j-1 {
+			lines[i], lines[j] = lines[j], lines[i]
+		}
+		for i := run.Start; i < run.End; i++ {
+			req := b.reqs[i].Requestor
+			counted := false
+			for j := rStart; j < len(b.planReqs); j++ {
+				if b.planReqs[j].Requestor == req {
+					b.planReqs[j].N++
+					counted = true
+					break
+				}
+			}
+			if !counted {
+				b.planReqs = append(b.planReqs, ReqCount{Requestor: req, N: 1})
+			}
+		}
+		b.plans = append(b.plans, RunPlan{Lines: lines, Reqs: b.planReqs[rStart:]})
+	}
+	return b.plans
+}
+
+// Reset clears the Builder for a new program, retaining its storage.
+func (b *Builder) Reset() {
+	b.reqs = b.reqs[:0]
+	b.runs = b.runs[:0]
+	b.analyze = b.cfg.AnalyzeRuns
+	if !b.analyze {
+		return
+	}
+	clear(b.lastIdx)
+	for i := range b.lastUnprovable {
+		b.lastUnprovable[i] = -1
+	}
+	for i := range b.recency {
+		b.recency[i] = b.recency[i][:0]
+	}
+}

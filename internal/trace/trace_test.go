@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/replacement"
+	"repro/internal/rng"
+)
+
+// The trace compiler's run markers claim "every record in this span is
+// provably an L1 hit under any reachable cache state". These tests
+// check the claim the hard way: replay adversarial programs and verify
+// every marked record actually hits, across policies and against
+// histories the builder never saw (a run must hold from the trace's
+// start only, so the whole trace replays from power-on state here,
+// exactly as the executors use it).
+
+func mkCache(pol replacement.Kind, sets, ways int, seed uint64) *cache.Cache {
+	cfg := cache.Config{Name: "t", Sets: sets, Ways: ways, LineSize: 64, Policy: pol}
+	if pol == replacement.Random {
+		cfg.RNG = rng.New(seed)
+	}
+	return cache.New(cfg)
+}
+
+// traceProgram generates a load program with heavy revisits so runs
+// actually form.
+func traceProgram(n, sets int, seed uint64) []uint64 {
+	r := rng.New(seed)
+	lines := make([]uint64, n)
+	for i := range lines {
+		switch r.Intn(5) {
+		case 0:
+			lines[i] = uint64(r.Intn(40))*uint64(sets) + uint64(r.Intn(sets))
+		default:
+			lines[i] = uint64(r.Intn(6))*uint64(sets) + uint64(r.Intn(2))
+		}
+	}
+	return lines
+}
+
+func TestRunsAreSound(t *testing.T) {
+	for _, pol := range replacement.Kinds() {
+		for _, ways := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("%v/ways=%d", pol, ways), func(t *testing.T) {
+				const sets = 4
+				b := NewBuilder(Config{Sets: sets, Ways: ways, Policy: pol, AnalyzeRuns: true})
+				prog := traceProgram(2000, sets, uint64(ways)<<8|uint64(pol))
+				for i, ln := range prog {
+					b.Load(ln, i%2)
+				}
+				tr := b.Trace()
+
+				inRun := make([]bool, len(tr.Reqs))
+				for _, run := range tr.Runs {
+					if run.Start >= run.End || run.End > len(tr.Reqs) {
+						t.Fatalf("malformed run %+v over %d records", run, len(tr.Reqs))
+					}
+					for i := run.Start; i < run.End; i++ {
+						inRun[i] = true
+					}
+				}
+
+				c := mkCache(pol, sets, ways, 11)
+				for i, req := range tr.Reqs {
+					res := c.Access(req)
+					if inRun[i] && !res.Hit {
+						t.Fatalf("record %d (line %d) is inside a run but MISSED", i, req.PhysLine)
+					}
+				}
+			})
+		}
+	}
+}
+
+// The LRU stack rule must hold at its exact boundary: a probe loop
+// over all ways of a set (reuse distance ways-1) is provable from the
+// second pass on, while a loop over ways+1 lines (reuse distance ways)
+// must never be marked — and actually evicts, which TestRunsAreSound
+// would catch if it were.
+func TestStackRuleBoundary(t *testing.T) {
+	for _, ways := range []int{2, 4, 8} {
+		b := NewBuilder(Config{Sets: 1, Ways: ways, Policy: replacement.TrueLRU, AnalyzeRuns: true})
+		for pass := 0; pass < 3; pass++ {
+			for w := 0; w < ways; w++ {
+				b.Load(uint64(w), 0)
+			}
+		}
+		tr := b.Trace()
+		if len(tr.Runs) != 1 || tr.Runs[0].Start != ways || tr.Runs[0].End != 3*ways {
+			t.Errorf("ways=%d: full-pass loop runs = %v, want one run [%d,%d)",
+				ways, tr.Runs, ways, 3*ways)
+		}
+
+		b = NewBuilder(Config{Sets: 1, Ways: ways, Policy: replacement.TrueLRU, AnalyzeRuns: true})
+		for pass := 0; pass < 3; pass++ {
+			for w := 0; w < ways+1; w++ {
+				b.Load(uint64(w), 0)
+			}
+		}
+		if runs := b.Trace().Runs; len(runs) != 0 {
+			t.Errorf("ways=%d: over-capacity loop marked runs %v", ways, runs)
+		}
+	}
+}
+
+// Run plans must replay to the same observable cache as executing the
+// run's records one by one: same replacement state, same counters.
+// This pins the compression argument per policy — last-occurrence
+// touches for True-LRU and Tree-PLRU, counter-only for FIFO and
+// Random, and no plan at all for Bit-PLRU.
+func TestRunPlansMatchFullReplay(t *testing.T) {
+	for _, pol := range replacement.Kinds() {
+		for _, ways := range []int{2, 4, 8, 16} {
+			t.Run(fmt.Sprintf("%v/ways=%d", pol, ways), func(t *testing.T) {
+				const sets = 4
+				b := NewBuilder(Config{Sets: sets, Ways: ways, Policy: pol, AnalyzeRuns: true})
+				prog := traceProgram(2500, sets, uint64(ways)<<9|uint64(pol))
+				for i, ln := range prog {
+					b.Load(ln, i%3)
+				}
+				tr := b.Trace()
+				plans, touch := tr.RunPlans(pol, false)
+				if pol == replacement.BitPLRU {
+					if plans != nil {
+						t.Fatal("Bit-PLRU trace compiled plans")
+					}
+					return
+				}
+				if len(tr.Runs) == 0 {
+					t.Fatal("program produced no runs; test is vacuous")
+				}
+				if len(plans) != len(tr.Runs) {
+					t.Fatalf("%d plans for %d runs", len(plans), len(tr.Runs))
+				}
+				if _, ok := tr.RunPlans(pol, true); ok || touch != (pol == replacement.TrueLRU || pol == replacement.TreePLRU) {
+					t.Fatal("plan eligibility wrong: lock-state must disable, touch must track policy")
+				}
+
+				full := mkCache(pol, sets, ways, 3)
+				plan := mkCache(pol, sets, ways, 3)
+				snapshot := func(c *cache.Cache) string {
+					s := fmt.Sprintf("stats %+v", c.Stats())
+					for r := 0; r < 3; r++ {
+						s += fmt.Sprintf(" req%d %+v", r, c.RequestorStats(r))
+					}
+					for set := 0; set < sets; set++ {
+						s += "\n" + c.PolicyState(set)
+					}
+					return s
+				}
+				i := 0
+				for ri, run := range tr.Runs {
+					var n uint64
+					for _, rc := range plans[ri].Reqs {
+						n += rc.N
+					}
+					if n != uint64(run.End-run.Start) {
+						t.Fatalf("run %d: plan counts %d records, span has %d", ri, n, run.End-run.Start)
+					}
+					for ; i < run.Start; i++ {
+						full.Access(tr.Reqs[i])
+						plan.Access(tr.Reqs[i])
+					}
+					for ; i < run.End; i++ {
+						if res := full.Access(tr.Reqs[i]); !res.Hit {
+							t.Fatalf("record %d in run %d missed", i, ri)
+						}
+					}
+					if !plan.AllResident(plans[ri].Lines) {
+						t.Fatalf("run %d: planned lines not resident at run start", ri)
+					}
+					for _, rc := range plans[ri].Reqs {
+						plan.CreditLoadHits(rc.Requestor, rc.N)
+					}
+					if touch {
+						for _, ln := range plans[ri].Lines {
+							if !plan.TouchLine(ln) {
+								t.Fatalf("run %d: TouchLine lost line %d", ri, ln)
+							}
+						}
+					}
+				}
+				for ; i < len(tr.Reqs); i++ {
+					full.Access(tr.Reqs[i])
+					plan.Access(tr.Reqs[i])
+				}
+				if fs, ps := snapshot(full), snapshot(plan); fs != ps {
+					t.Fatalf("plan replay diverges from full replay:\nfull:\n%s\nplan:\n%s", fs, ps)
+				}
+			})
+		}
+	}
+}
+
+// A run claim must survive any policy the guards allow it for — the
+// LRU-stack rule is only used under TrueLRU, so force the no-miss rule
+// alone by interleaving misses, and check the conservative result.
+func TestRunsDisabledByGuards(t *testing.T) {
+	b := NewBuilder(Config{Sets: 4, Ways: 4, Policy: replacement.TreePLRU, AnalyzeRuns: true})
+	b.Load(1, 0)
+	b.LoadOp(2, 2, 0, cache.OpLock) // non-load op: analysis must shut off
+	b.Load(1, 0)
+	b.Load(1, 0)
+	if runs := b.Trace().Runs; len(runs) != 0 {
+		t.Fatalf("runs %v survived a non-load record", runs)
+	}
+
+	if NewBuilder(Config{Sets: 4, Ways: 4, Policy: replacement.TrueLRU,
+		LockReplacementState: true}).useStack {
+		t.Fatal("LRU-stack rule enabled under LockReplacementState")
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	b := NewBuilder(Config{Sets: 2, Ways: 4, Policy: replacement.TrueLRU, AnalyzeRuns: true})
+	for i := 0; i < 100; i++ {
+		b.Load(uint64(i%3), 0)
+	}
+	first := len(b.Trace().Runs)
+	if first == 0 {
+		t.Fatal("expected runs from a 3-line loop in a 4-way set")
+	}
+	b.Reset()
+	if tr := b.Trace(); len(tr.Reqs) != 0 || len(tr.Runs) != 0 {
+		t.Fatalf("Reset left %d reqs, %d runs", len(tr.Reqs), len(tr.Runs))
+	}
+	for i := 0; i < 100; i++ {
+		b.Load(uint64(i%3), 0)
+	}
+	if got := len(b.Trace().Runs); got != first {
+		t.Fatalf("post-Reset build found %d runs, first build %d", got, first)
+	}
+}
+
+// ExecCacheParallel must be byte-identical to serial execution — the
+// same Results and the same counters — at every worker count, and fall
+// back cleanly where partitioning is invalid.
+func TestExecCacheParallelMatchesSerial(t *testing.T) {
+	for _, pol := range replacement.Kinds() {
+		t.Run(pol.String(), func(t *testing.T) {
+			const sets, ways = 8, 4
+			b := NewBuilder(Config{Sets: sets, Ways: ways, Policy: pol, AnalyzeRuns: pol == replacement.TrueLRU})
+			prog := traceProgram(3000, sets, 5)
+			for i, ln := range prog {
+				b.Load(ln, i%3)
+			}
+			tr := b.Trace()
+
+			for _, workers := range []int{1, 2, 4, 16} {
+				cs := mkCache(pol, sets, ways, 9)
+				cp := mkCache(pol, sets, ways, 9)
+				want := make([]cache.Result, len(tr.Reqs))
+				ExecCache(cs, tr, want)
+				got := make([]cache.Result, len(tr.Reqs))
+				ExecCacheParallel(cp, tr, got, workers)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d record %d diverges: parallel %+v, serial %+v",
+							workers, i, got[i], want[i])
+					}
+				}
+				if a, b := fmt.Sprintf("%+v", cs.Stats()), fmt.Sprintf("%+v", cp.Stats()); a != b {
+					t.Fatalf("workers=%d stats diverge: serial %s, parallel %s", workers, a, b)
+				}
+				for r := 0; r < 3; r++ {
+					if a, b := cs.RequestorStats(r), cp.RequestorStats(r); a != b {
+						t.Fatalf("workers=%d requestor %d stats diverge: serial %+v, parallel %+v",
+							workers, r, a, b)
+					}
+				}
+			}
+		})
+	}
+}

@@ -138,13 +138,13 @@ func Sweep(spec SweepSpec, seed uint64, opt RunOptions) []SweepCell {
 				Name: fmt.Sprintf("sweep/%s/%v/alg=%d/tr=%d/ts=%d/d=%d/trial=%d",
 					id.prof.Arch, id.pol, int(id.alg), id.pt.Tr, id.pt.Ts, id.d, trial),
 				Seed: seeds[len(jobs)],
-				Run: func(s uint64) ErrorRateResult {
-					c := NewChannel(ChannelConfig{
+				RunW: func(s uint64, ws *engine.Workspace) ErrorRateResult {
+					c := NewChannelW(ChannelConfig{
 						Profile: id.prof, L1Policy: id.pol, Algorithm: id.alg,
 						Mode: sched.SMT, Tr: id.pt.Tr, Ts: id.pt.Ts, D: id.d,
 						SameAddressSpace: id.prof.Arch == "Zen" && id.alg == Alg1SharedMemory,
 						Seed:             s,
-					})
+					}, ws)
 					return c.MeasureErrorRate(spec.MsgBits, spec.Repeats)
 				},
 			})
@@ -788,17 +788,29 @@ func benignPairReports(a, b, refs, slice int, seed uint64) [2]perfctr.Report {
 	if slice < 1 {
 		slice = 1
 	}
+	// Each slice is one requestor's run of generator-driven loads, so it
+	// executes as a single LoadBatch (the geometry above is prefetch-free
+	// and deterministic, so the batch is bit-identical to per-access
+	// Load calls).
+	n := min(slice, refs)
+	addrs := make([]mem.Addr, n)
+	res := make([]hier.Result, n)
 	var issued [2]int
 	for turn := 0; issued[0] < refs || issued[1] < refs; turn++ {
 		p := turn % 2
-		for k := 0; k < slice && issued[p] < refs; k++ {
+		n := min(slice, refs-issued[p])
+		if n <= 0 {
+			continue
+		}
+		for k := 0; k < n; k++ {
 			l := gens[p].Next().Addr / 64
 			if p == 1 {
 				l += benignPairTagStride
 			}
-			h.Load(mem.Addr{Virt: l * 64, Phys: l * 64, VirtLine: l, PhysLine: l}, p)
-			issued[p]++
+			addrs[k] = mem.Addr{Virt: l * 64, Phys: l * 64, VirtLine: l, PhysLine: l}
 		}
+		h.LoadBatch(addrs[:n], p, res[:n])
+		issued[p] += n
 	}
 	return [2]perfctr.Report{perfctr.Collect(h, 0), perfctr.Collect(h, 1)}
 }
