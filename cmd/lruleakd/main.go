@@ -1,0 +1,116 @@
+// Command lruleakd is the long-running leakage-analysis job server: the
+// repository's experiment grids (attack sweeps, transport stream
+// sweeps, detection ROC sweeps) behind an HTTP/JSON API instead of a
+// one-shot CLI.
+//
+// Usage:
+//
+//	lruleakd [-addr host:port] [-workers N] [-runners N] [-queue N] [-quiet]
+//
+// The server validates every submitted spec up front (a bad spec is a
+// 400 with field-level messages), deduplicates identical (spec, seed)
+// submissions through a content-addressed result cache, shards cells
+// across one persistent engine worker pool shared by all jobs, streams
+// per-cell progress, and renders reports with the same renderers the
+// CLIs use — so a server-side run is byte-identical to the equivalent
+// CLI run (and to the goldens under testdata/).
+//
+// API (all JSON unless noted):
+//
+//	POST   /v1/jobs                submit {"kind":"attack|stream|roc","seed":N,"<kind>":{...}}
+//	GET    /v1/jobs                list jobs
+//	GET    /v1/jobs/{id}           job status
+//	GET    /v1/jobs/{id}/report    rendered report, text/plain (?wait=1 blocks until terminal)
+//	GET    /v1/jobs/{id}/events    per-cell progress, NDJSON (?wait=1 follows)
+//	POST   /v1/jobs/{id}/cancel    cancel (also DELETE /v1/jobs/{id})
+//	GET    /healthz                liveness
+//
+// Example:
+//
+//	lruleakd -addr 127.0.0.1:7090 &
+//	curl -s -X POST 127.0.0.1:7090/v1/jobs -d '{"kind":"attack","seed":7,
+//	  "attack":{"victims":["ttable"],"policies":["treeplru"],"symbols":6}}'
+//	curl -s '127.0.0.1:7090/v1/jobs/<id>/report?wait=1'
+//
+// SIGINT/SIGTERM shut down cleanly: in-flight grids stop at their next
+// cell boundary and the listener drains before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7090", "listen address")
+		workers = flag.Int("workers", 0, "persistent engine pool size shared by all jobs (0 = all cores)")
+		runners = flag.Int("runners", 0, "concurrent jobs (0 = pool size)")
+		queue   = flag.Int("queue", 0, "accepted-job backlog before 503s (0 = 4096)")
+		quiet   = flag.Bool("quiet", false, "suppress the per-request access log")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "lruleakd: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "lruleakd: ", log.LstdFlags)
+	svc := service.New(service.Config{
+		EngineWorkers: *workers,
+		Runners:       *runners,
+		QueueDepth:    *queue,
+	})
+
+	var handler http.Handler = svc
+	if !*quiet {
+		handler = accessLog(logger, svc)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on http://%s (engine workers: %d)", *addr, svc.Workers())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%v: shutting down", sig)
+	case err := <-errc:
+		logger.Printf("serve: %v", err)
+		svc.Close()
+		os.Exit(1)
+	}
+
+	// Stop accepting requests, then cancel every job: running grids
+	// abort at their next cell boundary, so shutdown is prompt even
+	// mid-sweep.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+	logger.Printf("bye")
+}
+
+// accessLog wraps the service with a one-line-per-request log.
+func accessLog(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		logger.Printf("%s %s %.1fms", r.Method, r.URL.Path, float64(time.Since(start).Microseconds())/1000)
+	})
+}

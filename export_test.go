@@ -1,0 +1,9 @@
+package lruleak
+
+// EmitBench exposes emitBench to the external test package. The
+// service throughput benchmark must live in package lruleak_test
+// (the root package cannot import repro/internal/service from an
+// internal test file — import cycle), and routing its records through
+// the same emitter keeps BENCH_JSON a single deduplicated file across
+// both packages' benchmarks.
+var EmitBench = emitBench

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -53,6 +55,28 @@ type Result[T any] struct {
 	Value T
 	// Wall is the host wall time the job took (not simulated cycles).
 	Wall time.Duration
+	// Err is non-nil when the job did not produce a Value: a
+	// *PanicError when the job function panicked, or the context error
+	// when the run was cancelled before this job executed. Completed
+	// jobs keep Err == nil regardless of what happened to their
+	// siblings, so a grid that is partially cancelled or partially
+	// crashed still carries every finished cell's result.
+	Err error
+}
+
+// PanicError is the recovered panic of one job, carrying the job's
+// identity and the goroutine stack captured at the panic site. Run
+// re-raises it after the pool drains unless Options.ContainPanics is
+// set, so non-daemon callers keep fail-fast semantics while a server
+// can treat a crashing job as that job's failure alone.
+type PanicError struct {
+	Job   string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job %q panicked: %v\n%s", e.Job, e.Value, e.Stack)
 }
 
 // Event is one progress notification: job Index just finished as the
@@ -64,14 +88,36 @@ type Event struct {
 }
 
 // Options tunes an engine run. The zero value runs on all cores with no
-// progress reporting.
+// progress reporting, fail-fast on panic, and no cancellation.
 type Options struct {
 	// Workers is the pool size; <= 0 selects DefaultWorkers().
+	// Ignored when Pool is set (the pool's size governs).
 	Workers int
 	// Progress, if set, is called once per completed job. Calls are
 	// serialized (never concurrent) but arrive in completion order,
 	// which under parallelism is not submission order.
 	Progress func(Event)
+	// Context, if non-nil, cancels the run at cell boundaries: jobs
+	// already executing finish normally and keep their results, jobs
+	// not yet started return immediately with Err set to the context's
+	// error. Run never blocks on a cancelled context — in particular
+	// the job feeder bails out instead of waiting on workers that have
+	// stopped draining.
+	Context context.Context
+	// ContainPanics keeps a panicking job from taking the process (or
+	// its sibling jobs) down: the panic is recovered inside the worker,
+	// recorded as the job's Result.Err (*PanicError), and the run
+	// continues. When false — the CLI default — panics are still
+	// recovered per job so siblings complete, but Run re-raises the
+	// first one (in submission order) after the pool drains, preserving
+	// fail-fast behavior on the caller's goroutine.
+	ContainPanics bool
+	// Pool, if set, runs the jobs on a shared persistent worker pool
+	// instead of spawning per-call goroutines. Consecutive Run calls on
+	// one pool reuse each worker's Workspace, so pooled machines
+	// survive across grids — the daemon configuration. Determinism is
+	// unaffected: jobs derive everything from their seeds.
+	Pool *Pool
 }
 
 // WorkersEnv is the environment variable that overrides the default
@@ -107,15 +153,22 @@ func (o Options) ResolvedWorkers() int { return o.workers() }
 // Run executes jobs over the worker pool and returns one Result per
 // job, in submission order. The output is independent of the worker
 // count provided each job is deterministic in its seed.
+//
+// A job that panics never takes its siblings down: the panic is
+// recovered and recorded as that job's Result.Err. Unless
+// Options.ContainPanics is set, Run re-raises the first recorded panic
+// (submission order) once every in-flight job has finished.
+//
+// When Options.Context is cancelled, jobs that have not started yet are
+// skipped with Err set to the context error; jobs already executing run
+// to completion and keep their results.
 func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 	out := make([]Result[T], len(jobs))
 	if len(jobs) == 0 {
 		return out
 	}
-	workers := opts.workers()
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
+	ctx := opts.Context
+	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
 
 	var mu sync.Mutex // serializes Progress calls and the done counter
 	done := 0
@@ -128,44 +181,92 @@ func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 		opts.Progress(Event{Index: i, Done: done, Total: len(jobs), Name: jobs[i].Name, Wall: wall})
 		mu.Unlock()
 	}
+	// runOne executes job i on ws, or skips it (recording the context
+	// error) when the run has been cancelled. Each index reaches
+	// exactly one runOne/skip call, so out needs no locking.
+	skip := func(i int) {
+		out[i] = Result[T]{Name: jobs[i].Name, Seed: jobs[i].Seed, Err: ctx.Err()}
+	}
 	runOne := func(i int, ws *Workspace) {
-		start := time.Now()
-		var v T
-		if jobs[i].RunW != nil {
-			v = jobs[i].RunW(jobs[i].Seed, ws)
-		} else {
-			v = jobs[i].Run(jobs[i].Seed)
+		if cancelled() {
+			skip(i)
+			return
 		}
+		start := time.Now()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					out[i].Err = &PanicError{Job: jobs[i].Name, Value: r, Stack: debug.Stack()}
+				}
+			}()
+			if jobs[i].RunW != nil {
+				out[i].Value = jobs[i].RunW(jobs[i].Seed, ws)
+			} else {
+				out[i].Value = jobs[i].Run(jobs[i].Seed)
+			}
+		}()
 		wall := time.Since(start)
-		out[i] = Result[T]{Name: jobs[i].Name, Seed: jobs[i].Seed, Value: v, Wall: wall}
+		out[i].Name, out[i].Seed, out[i].Wall = jobs[i].Name, jobs[i].Seed, wall
 		finish(i, wall)
 	}
 
-	if workers == 1 {
+	switch {
+	case opts.Pool != nil:
+		opts.Pool.run(len(jobs), ctx, func(i int, ws *Workspace) { runOne(i, ws) }, skip)
+	case opts.workers() == 1 || len(jobs) == 1:
 		ws := &Workspace{}
 		for i := range jobs {
 			runOne(i, ws)
 		}
-		return out
+	default:
+		workers := opts.workers()
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				ws := &Workspace{}
+				for i := range idx {
+					runOne(i, ws)
+				}
+			}()
+		}
+		feed := len(jobs)
+		for i := 0; i < len(jobs); i++ {
+			if ctx == nil {
+				idx <- i
+				continue
+			}
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				feed = i
+			}
+			if feed == i {
+				break
+			}
+		}
+		close(idx)
+		// Indices never fed are skipped here; indices fed after the
+		// cancel are skipped by the worker's runOne. Either way every
+		// job gets exactly one Result.
+		for i := feed; i < len(jobs); i++ {
+			skip(i)
+		}
+		wg.Wait()
 	}
 
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			ws := &Workspace{}
-			for i := range idx {
-				runOne(i, ws)
+	if !opts.ContainPanics {
+		for i := range out {
+			if pe, ok := out[i].Err.(*PanicError); ok {
+				panic(pe)
 			}
-		}()
+		}
 	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
 	return out
 }
 

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool is a persistent worker pool shared across Run calls. Each worker
+// goroutine owns one Workspace for the pool's whole lifetime, so pooled
+// machines (hierarchies, schedulers, scratch buffers) built for one
+// grid are reused by every later grid that lands on the same worker —
+// the configuration a long-running job server wants, where per-call
+// goroutine+machine construction would dominate small jobs.
+//
+// A pool may serve several Run calls concurrently; their cells simply
+// interleave over the same workers. Determinism is preserved for the
+// same reason it holds within one Run: every job restores any reused
+// machine to a seed-determined state before use, so results cannot
+// depend on which worker (or which interleaving) executed which cell.
+type Pool struct {
+	tasks chan func(*Workspace)
+	wg    sync.WaitGroup
+	size  int
+	once  sync.Once
+}
+
+// NewPool starts a pool of n persistent workers (n <= 0 selects
+// DefaultWorkers()). Close releases them.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	p := &Pool{tasks: make(chan func(*Workspace)), size: n}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer p.wg.Done()
+			ws := &Workspace{}
+			for f := range p.tasks {
+				f(ws)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.size }
+
+// Close stops accepting work, waits for in-flight tasks to finish, and
+// releases the workers. Safe to call more than once.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}
+
+// run dispatches n indexed tasks onto the pool and blocks until each
+// has either executed or been skipped. On context cancellation the
+// feeder stops immediately (it never blocks on a pool that has stopped
+// draining) and skip is called for every index not yet handed to a
+// worker; exec itself is responsible for skipping indices that were
+// queued before the cancel but start after it.
+func (p *Pool) run(n int, ctx context.Context, exec func(int, *Workspace), skip func(int)) {
+	var wg sync.WaitGroup
+	fed := n
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		task := func(ws *Workspace) {
+			defer wg.Done()
+			exec(i, ws)
+		}
+		if ctx == nil {
+			p.tasks <- task
+			continue
+		}
+		select {
+		case p.tasks <- task:
+		case <-ctx.Done():
+			wg.Done()
+			fed = i
+		}
+		if fed == i {
+			break
+		}
+	}
+	for i := fed; i < n; i++ {
+		skip(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,368 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/engine"
+)
+
+// Config sizes the server.
+type Config struct {
+	// EngineWorkers is the persistent engine pool size shared by every
+	// job's cells; <= 0 selects engine.DefaultWorkers().
+	EngineWorkers int
+	// Runners is how many jobs may execute concurrently (their cells
+	// all land on the one shared pool); <= 0 selects the pool size.
+	Runners int
+	// QueueDepth bounds the backlog of accepted-but-not-started jobs;
+	// <= 0 selects 4096. A full queue rejects submissions with 503.
+	QueueDepth int
+}
+
+// Server is the leakage-analysis job server: a job store, a runner
+// pool draining the queue, and the persistent engine pool the runners
+// shard their cells onto. It implements http.Handler.
+type Server struct {
+	cfg  Config
+	pool *engine.Pool
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // by ID
+	byKey    map[string]*Job // latest attempt per content key
+	attempts map[string]int  // submissions that created a job, per key
+	order    []string        // IDs in creation order
+
+	queue  chan *Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	mux *http.ServeMux
+
+	// exec runs a compiled spec; replaced by tests to inject failures.
+	exec func(*compiledSpec, lruleak.RunOptions) string
+}
+
+// New starts a server: the engine pool and the job runners come up
+// immediately and live until Close.
+func New(cfg Config) *Server {
+	if cfg.EngineWorkers <= 0 {
+		cfg.EngineWorkers = engine.DefaultWorkers()
+	}
+	if cfg.Runners <= 0 {
+		cfg.Runners = cfg.EngineWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	s := &Server{
+		cfg:      cfg,
+		pool:     engine.NewPool(cfg.EngineWorkers),
+		jobs:     map[string]*Job{},
+		byKey:    map[string]*Job{},
+		attempts: map[string]int{},
+		queue:    make(chan *Job, cfg.QueueDepth),
+		exec:     (*compiledSpec).run,
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.wg.Add(cfg.Runners)
+	for i := 0; i < cfg.Runners; i++ {
+		go s.runner()
+	}
+	return s
+}
+
+// Workers reports the engine pool size (for logging and benches).
+func (s *Server) Workers() int { return s.pool.Workers() }
+
+// Close cancels every queued and running job, waits for the runners to
+// drain, and releases the engine pool. Running grids stop at their
+// next cell boundary; completed cells keep their results but the jobs
+// finish canceled.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		s.cancel()
+		s.wg.Wait()
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.finish(StatusCanceled, "", "server shutdown")
+		}
+		s.mu.Unlock()
+		s.pool.Close()
+	})
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- job lifecycle ---
+
+// Submit validates a spec and either joins it onto an existing job
+// with the same content key (dedup) or queues a fresh one. The bool
+// reports a dedup hit. It is the programmatic core of POST /v1/jobs.
+func (s *Server) Submit(spec Spec) (*Job, bool, error) {
+	compiled, fieldErrs := compile(spec)
+	if len(fieldErrs) > 0 {
+		return nil, false, &ValidationError{Fields: fieldErrs}
+	}
+	key := compiled.key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.byKey[key]; ok {
+		// Queued, running and done attempts are joinable: the job IS
+		// the cache entry. Failed and canceled attempts are not — a
+		// resubmission retries with a fresh job under the same key.
+		if st := prev.Status(); st != StatusFailed && st != StatusCanceled {
+			return prev, true, nil
+		}
+	}
+	s.attempts[key]++
+	id := "j-" + key[:16]
+	if n := s.attempts[key]; n > 1 {
+		id = fmt.Sprintf("%s-r%d", id, n)
+	}
+	j := newJob(id, key, spec)
+	j.compiled = compiled
+	select {
+	case s.queue <- j:
+	default:
+		s.attempts[key]--
+		return nil, false, ErrQueueFull
+	}
+	s.jobs[id] = j
+	s.byKey[key] = j
+	s.order = append(s.order, id)
+	return j, false, nil
+}
+
+// JobByID looks a job up.
+func (s *Server) JobByID(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job on the shared pool. Three exits: done with a
+// rendered report, canceled (job context or server shutdown), or
+// failed — a panicking cell is recovered by the engine, re-raised
+// after the grid drains, and caught here, so it takes down exactly one
+// job, never the process or a sibling job's work.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	if !j.markRunning(cancel) {
+		return // canceled while queued
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprintf("%v", r)
+			if pe, ok := r.(*engine.PanicError); ok {
+				msg = fmt.Sprintf("cell %q panicked: %v", pe.Job, pe.Value)
+			}
+			j.finish(StatusFailed, "", msg)
+		}
+	}()
+	report := s.exec(j.compiled, lruleak.RunOptions{
+		Pool:     s.pool,
+		Context:  ctx,
+		Progress: j.recordEvent,
+	})
+	if ctx.Err() != nil {
+		j.finish(StatusCanceled, "", ctx.Err().Error())
+		return
+	}
+	j.finish(StatusDone, report, "")
+}
+
+// ErrQueueFull rejects submissions when the backlog is at QueueDepth.
+var ErrQueueFull = fmt.Errorf("service: job queue is full")
+
+// ValidationError carries the field-level findings of a rejected spec.
+type ValidationError struct {
+	Fields []FieldError
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("service: invalid spec (%d field errors)", len(e.Fields))
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error  string       `json:"error"`
+	Fields []FieldError `json:"fields,omitempty"`
+}
+
+type submitBody struct {
+	JobView
+	Dedup bool `json:"dedup"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, dedup, err := s.Submit(spec)
+	switch err := err.(type) {
+	case nil:
+	case *ValidationError:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid spec", Fields: err.Fields})
+		return
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if dedup {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, submitBody{JobView: j.View(), Dedup: dedup})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].View())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{views})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.View())
+	}
+}
+
+// handleReport serves the rendered report. With ?wait=1 it blocks
+// until the job is terminal (or the client goes away), which gives
+// clients submit-then-fetch semantics without polling.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	switch st := j.Status(); st {
+	case StatusDone:
+		report, _ := j.Report()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, report)
+	case StatusFailed:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: j.Err()})
+	case StatusCanceled:
+		writeJSON(w, http.StatusGone, errorBody{Error: "job canceled: " + j.Err()})
+	default:
+		writeJSON(w, http.StatusConflict, j.View())
+	}
+}
+
+// handleEvents streams the job's per-cell progress as NDJSON. The
+// snapshot so far is always written; with ?wait=1 the response keeps
+// following new events until the job is terminal.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	emit := func() {
+		for _, ev := range j.Events()[next:] {
+			enc.Encode(ev)
+			next++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit()
+	if r.URL.Query().Get("wait") != "1" {
+		return
+	}
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.Done():
+			emit()
+			return
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			emit()
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.View())
+}

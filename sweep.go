@@ -56,7 +56,10 @@ type SweepSpec struct {
 	MsgBits, Repeats int
 }
 
-func (sp SweepSpec) withDefaults() SweepSpec {
+// WithDefaults returns the spec with every zero-valued dimension
+// replaced by its documented default — the normal form Sweep evaluates
+// and the one the service layer hashes for content-addressed caching.
+func (sp SweepSpec) WithDefaults() SweepSpec {
 	if len(sp.Profiles) == 0 {
 		sp.Profiles = Profiles()
 	}
@@ -107,7 +110,7 @@ type SweepCell struct {
 // (the configuration Table IV and Figure 7 use, without which that
 // combination does not work on AMD).
 func Sweep(spec SweepSpec, seed uint64, opt RunOptions) []SweepCell {
-	spec = spec.withDefaults()
+	spec = spec.WithDefaults()
 
 	type cellID struct {
 		prof Profile
@@ -187,7 +190,9 @@ type StreamSpec struct {
 	FramePayload int
 }
 
-func (sp StreamSpec) withDefaults() StreamSpec {
+// WithDefaults returns the spec with every zero-valued dimension
+// replaced by its documented default (see SweepSpec.WithDefaults).
+func (sp StreamSpec) WithDefaults() StreamSpec {
 	if len(sp.Points) == 0 {
 		sp.Points = []TrTs{{Tr: 2000, Ts: 8000}}
 	}
@@ -218,7 +223,7 @@ func (sp StreamSpec) withDefaults() StreamSpec {
 // are split deterministically from the root seed by grid position, so
 // the result is bit-identical at any worker count.
 func StreamSweep(spec StreamSpec, seed uint64, opt RunOptions) []StreamPoint {
-	spec = spec.withDefaults()
+	spec = spec.WithDefaults()
 
 	type cellID struct {
 		pt    TrTs
@@ -348,7 +353,9 @@ type AttackSpec struct {
 	Trials int
 }
 
-func (sp AttackSpec) withDefaults() AttackSpec {
+// WithDefaults returns the spec with every zero-valued dimension
+// replaced by its documented default (see SweepSpec.WithDefaults).
+func (sp AttackSpec) WithDefaults() AttackSpec {
 	if len(sp.Victims) == 0 {
 		sp.Victims = victim.Names()
 	}
@@ -408,7 +415,7 @@ type AttackCell struct {
 // matrix is comparable across defenses and bit-identical at any worker
 // count.
 func AttackSweep(spec AttackSpec, seed uint64, opt RunOptions) []AttackCell {
-	spec = spec.withDefaults()
+	spec = spec.WithDefaults()
 
 	type cellID struct {
 		vname string
@@ -624,7 +631,9 @@ type ROCSpec struct {
 	Thresholds []float64
 }
 
-func (sp ROCSpec) withDefaults() ROCSpec {
+// WithDefaults returns the spec with every zero-valued dimension
+// replaced by its documented default (see SweepSpec.WithDefaults).
+func (sp ROCSpec) WithDefaults() ROCSpec {
 	if len(sp.Victims) == 0 {
 		sp.Victims = []string{"ttable"}
 	}
@@ -677,7 +686,7 @@ type ROCResult struct {
 // serve every defense, so the curves differ only in what the attack
 // does to the counters.
 func ROCSweep(spec ROCSpec, seed uint64, opt RunOptions) ROCResult {
-	spec = spec.withDefaults()
+	spec = spec.WithDefaults()
 
 	// Positive samples: one job per (defense, victim, policy, trial).
 	type posID struct {
