@@ -19,8 +19,10 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/engine"
 	"repro/internal/hier"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/perf"
 	"repro/internal/replacement"
 	"repro/internal/rng"
@@ -1045,5 +1047,67 @@ func BenchmarkTraceCompiledProbe(b *testing.B) {
 			check(b, out)
 		}
 		emitBench(b, map[string]float64{"l1-hit-rate": hitRate})
+	})
+}
+
+// BenchmarkMetricsOverhead prices the engine's per-cell telemetry: the
+// same many-small-cell grid on a persistent pool, uninstrumented vs
+// instrumented. The cells are deliberately tiny (~µs of xorshift work
+// through a pooled workspace) so the per-cell hooks — a handful of
+// atomic adds plus a histogram observe — are as visible as they can
+// ever be; real experiment cells are orders of magnitude heavier. CI
+// pins telemetry=on to >= 0.8x the telemetry=off sibling via
+// cmd/benchdiff -require, a box-speed-immune guard that the hooks stay
+// in the noise.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	const cells = 256
+	jobs := make([]engine.Job[uint64], cells)
+	for i := range jobs {
+		jobs[i] = engine.Job[uint64]{
+			Name: fmt.Sprintf("cell%d", i),
+			Seed: uint64(i + 1),
+			RunW: func(seed uint64, ws *engine.Workspace) uint64 {
+				buf := ws.Get("scratch", func() any { return make([]uint64, 64) }).([]uint64)
+				x := seed
+				for k := 0; k < 2048; k++ {
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					buf[k&63] += x
+				}
+				return x
+			},
+		}
+	}
+	run := func(b *testing.B, pool *engine.Pool) uint64 {
+		var sink uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range engine.Run(jobs, engine.Options{Pool: pool}) {
+				sink ^= res.Value
+			}
+		}
+		return sink
+	}
+
+	b.Run("telemetry=off", func(b *testing.B) {
+		pool := engine.NewPool(0)
+		defer pool.Close()
+		run(b, pool)
+		emitBench(b, map[string]float64{"cells": cells})
+	})
+	b.Run("telemetry=on", func(b *testing.B) {
+		reg := metrics.NewRegistry()
+		tel := engine.NewTelemetry(reg)
+		pool := engine.NewPoolWithTelemetry(0, tel)
+		defer pool.Close()
+		run(b, pool)
+		es := metrics.Snapshot(reg)
+		want := float64(b.N * cells)
+		if es["engine_cells_completed_total"] != want || es["engine_cell_wall_seconds.count"] != want {
+			b.Fatalf("telemetry lost cells: completed=%v histogram=%v, want %v",
+				es["engine_cells_completed_total"], es["engine_cell_wall_seconds.count"], want)
+		}
+		emitBench(b, map[string]float64{"cells": cells})
 	})
 }

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	lruleakd [-addr host:port] [-workers N] [-runners N] [-queue N] [-quiet]
+//	lruleakd [-addr host:port] [-workers N] [-runners N] [-queue N]
+//	         [-debug-addr host:port] [-quiet]
 //
 // The server validates every submitted spec up front (a bad spec is a
 // 400 with field-level messages), deduplicates identical (spec, seed)
@@ -24,6 +25,17 @@
 //	GET    /v1/jobs/{id}/events    per-cell progress, NDJSON (?wait=1 follows)
 //	POST   /v1/jobs/{id}/cancel    cancel (also DELETE /v1/jobs/{id})
 //	GET    /healthz                liveness
+//	GET    /metrics                runtime telemetry, Prometheus text exposition
+//
+// The /metrics body carries the job lifecycle counters
+// (service_jobs_total{state=...}), dedup cache accounting, HTTP request
+// counts and latency histograms by route, and the engine pool's
+// per-cell instrumentation (engine_cell_wall_seconds,
+// engine_cells_*_total, queue/busy gauges).
+//
+// With -debug-addr set, a SECOND listener (bind it to loopback) serves
+// net/http/pprof under /debug/pprof/ and mirrors /metrics, keeping
+// profiling endpoints off the public API port.
 //
 // Example:
 //
@@ -31,6 +43,7 @@
 //	curl -s -X POST 127.0.0.1:7090/v1/jobs -d '{"kind":"attack","seed":7,
 //	  "attack":{"victims":["ttable"],"policies":["treeplru"],"symbols":6}}'
 //	curl -s '127.0.0.1:7090/v1/jobs/<id>/report?wait=1'
+//	curl -s 127.0.0.1:7090/metrics | grep engine_cell_wall_seconds
 //
 // SIGINT/SIGTERM shut down cleanly: in-flight grids stop at their next
 // cell boundary and the listener drains before exit.
@@ -43,6 +56,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,11 +67,12 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7090", "listen address")
-		workers = flag.Int("workers", 0, "persistent engine pool size shared by all jobs (0 = all cores)")
-		runners = flag.Int("runners", 0, "concurrent jobs (0 = pool size)")
-		queue   = flag.Int("queue", 0, "accepted-job backlog before 503s (0 = 4096)")
-		quiet   = flag.Bool("quiet", false, "suppress the per-request access log")
+		addr      = flag.String("addr", "127.0.0.1:7090", "listen address")
+		workers   = flag.Int("workers", 0, "persistent engine pool size shared by all jobs (0 = all cores)")
+		runners   = flag.Int("runners", 0, "concurrent jobs (0 = pool size)")
+		queue     = flag.Int("queue", 0, "accepted-job backlog before 503s (0 = 4096)")
+		debugAddr = flag.String("debug-addr", "", "optional second listener serving /debug/pprof/ and /metrics (keep it on loopback)")
+		quiet     = flag.Bool("quiet", false, "suppress the per-request access log")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -83,6 +98,27 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Printf("listening on http://%s (engine workers: %d)", *addr, svc.Workers())
 
+	// The debug listener is separate so pprof never rides on the public
+	// API port. An explicit mux (not http.DefaultServeMux) keeps its
+	// surface to exactly what is registered here.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("GET /metrics", svc.Registry())
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+		logger.Printf("debug listener on http://%s (/debug/pprof/, /metrics)", *debugAddr)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
@@ -101,6 +137,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(ctx)
 	}
 	svc.Close()
 	logger.Printf("bye")

@@ -136,6 +136,20 @@ func (s *Stats) Add(o Stats) {
 	s.UtagMisses += o.UtagMisses
 }
 
+// EmitEvents exports the counters as unprefixed named events — the
+// metrics.Source interface, satisfied structurally so this package
+// stays free of a metrics import. Wrap with metrics.Prefixed("l1d", s)
+// to place the counters in a level's event namespace.
+func (s Stats) EmitEvents(emit func(string, float64)) {
+	emit("accesses", float64(s.Accesses))
+	emit("hits", float64(s.Hits))
+	emit("misses", float64(s.Misses))
+	emit("evictions", float64(s.Evictions))
+	emit("cross_evictions", float64(s.CrossEvictions))
+	emit("bypasses", float64(s.Bypasses))
+	emit("utag_misses", float64(s.UtagMisses))
+}
+
 // MissRate returns Misses/Accesses, or 0 when idle.
 func (s Stats) MissRate() float64 {
 	if s.Accesses == 0 {

@@ -5,12 +5,19 @@
 // miss rates. Table VI's point is that the LRU sender's miss profile is
 // indistinguishable from benign contention — this package makes that claim
 // executable.
+//
+// The monitor's criteria are data, not code: each Rule names a derived
+// metric from the internal/metrics expression layer ("l1d.miss_rate" =
+// "l1d.misses / l1d.accesses") and the threshold it is compared against,
+// so Explain can cite the exact formula a verdict was computed from.
 package detect
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/hier"
+	"repro/internal/metrics"
 	"repro/internal/perfctr"
 )
 
@@ -85,9 +92,51 @@ func AttackThresholds() Thresholds {
 	return th
 }
 
+// Gate is a precondition on a Rule: the named event must have reached
+// Min before the rule's metric is even consulted (sample-size floors).
+type Gate struct {
+	Event string
+	Min   float64
+}
+
+// Rule is one detector criterion as data: a named derived metric from
+// the metrics-definition layer, the threshold it is compared against
+// (strict >), and the gates that make the comparison meaningful. Label
+// is the human name used in Explain output.
+type Rule struct {
+	Metric    string
+	Label     string
+	Threshold float64
+	Gates     []Gate
+}
+
+// rules compiles the configured thresholds into the ordered criterion
+// table. The cross-eviction criterion comes first when enabled: it is
+// the discriminative one (a benign memory-heavy program can exceed any
+// miss-rate line, but it churns its own working set — systematically
+// displacing another process's lines is the prime-and-probe signature).
+func (th Thresholds) rules() []Rule {
+	var rules []Rule
+	if th.L1CrossEvictionRate > 0 {
+		rules = append(rules, Rule{
+			Metric: "l1d.cross_eviction_rate", Label: "L1D cross-eviction rate",
+			Threshold: th.L1CrossEvictionRate,
+			Gates:     []Gate{{Event: "l1d.cross_evictions", Min: float64(th.MinCrossEvictions)}},
+		})
+	}
+	rules = append(rules,
+		Rule{Metric: "l1d.miss_rate", Label: "L1D miss rate", Threshold: th.L1MissRate},
+		Rule{Metric: "l2.miss_rate", Label: "L2 miss rate", Threshold: th.L2MissRate,
+			Gates: []Gate{{Event: "l2.accesses", Min: float64(th.MinL2Refs)}}},
+	)
+	return rules
+}
+
 // Monitor samples per-process counters from a hierarchy and classifies.
 type Monitor struct {
-	th Thresholds
+	th    Thresholds
+	rules []Rule
+	set   *metrics.Set
 }
 
 // NewMonitor builds a monitor; zero-value thresholds take the defaults.
@@ -95,7 +144,12 @@ func NewMonitor(th Thresholds) *Monitor {
 	if th == (Thresholds{}) {
 		th = DefaultThresholds()
 	}
-	return &Monitor{th: th}
+	return &Monitor{th: th, rules: th.rules(), set: metrics.Default()}
+}
+
+// Rules returns the compiled criterion table, in evaluation order.
+func (m *Monitor) Rules() []Rule {
+	return append([]Rule(nil), m.rules...)
 }
 
 // Classify inspects one process's counters.
@@ -104,29 +158,33 @@ func (m *Monitor) Classify(rep perfctr.Report) Verdict {
 	return v
 }
 
-// classify returns the verdict together with the reason: which
-// threshold tripped, or why the monitor stayed quiet.
+// classify returns the verdict together with the reason: which rule
+// tripped (citing its defining expression), or why the monitor stayed
+// quiet.
 func (m *Monitor) classify(rep perfctr.Report) (Verdict, string) {
 	if rep.L1D.Accesses < m.th.MinAccesses {
 		return Benign, fmt.Sprintf("below the %d-access decision floor", m.th.MinAccesses)
 	}
-	// The cross-eviction criterion is consulted first when enabled: it
-	// is the discriminative one (a benign memory-heavy program can
-	// exceed any miss-rate line, but it churns its own working set —
-	// systematically displacing another process's lines is the
-	// prime-and-probe signature).
-	if m.th.L1CrossEvictionRate > 0 && rep.L1D.CrossEvictions >= m.th.MinCrossEvictions &&
-		rep.L1D.CrossEvictionRate() > m.th.L1CrossEvictionRate {
-		return Suspicious, fmt.Sprintf("L1D cross-eviction rate %.2f%% > threshold %.2f%%",
-			100*rep.L1D.CrossEvictionRate(), 100*m.th.L1CrossEvictionRate)
-	}
-	if rep.L1D.MissRate() > m.th.L1MissRate {
-		return Suspicious, fmt.Sprintf("L1D miss rate %.2f%% > threshold %.2f%%",
-			100*rep.L1D.MissRate(), 100*m.th.L1MissRate)
-	}
-	if rep.L2.Accesses >= m.th.MinL2Refs && rep.L2.MissRate() > m.th.L2MissRate {
-		return Suspicious, fmt.Sprintf("L2 miss rate %.2f%% > threshold %.2f%%",
-			100*rep.L2.MissRate(), 100*m.th.L2MissRate)
+	es := metrics.Snapshot(rep)
+	for _, rule := range m.rules {
+		gated := false
+		for _, g := range rule.Gates {
+			if es[g.Event] < g.Min {
+				gated = true
+				break
+			}
+		}
+		if gated {
+			continue
+		}
+		v, err := m.set.Eval(rule.Metric, es)
+		if err != nil {
+			continue // metric over events the report did not emit (no LLC, say)
+		}
+		if v > rule.Threshold {
+			return Suspicious, fmt.Sprintf("%s %.2f%% > threshold %.2f%% [%s = %s]",
+				rule.Label, 100*v, 100*rule.Threshold, rule.Metric, m.set.ExprOf(rule.Metric))
+		}
 	}
 	return Benign, "no threshold exceeded"
 }
@@ -136,11 +194,28 @@ func (m *Monitor) ClassifyProcess(h *hier.Hierarchy, requestor int) Verdict {
 	return m.Classify(perfctr.Collect(h, requestor))
 }
 
-// Explain renders the decision with the evidence and names the
-// threshold that triggered it (or states that none did), for reports.
+// Explain renders the decision with the evidence and names the rule
+// that triggered it (or states that none did), for reports. The
+// evidence block always shows the miss-rate metrics; the cross-eviction
+// rate and count are included whenever that criterion is enabled.
 func (m *Monitor) Explain(rep perfctr.Report) string {
 	v, reason := m.classify(rep)
-	return fmt.Sprintf("%s (%s; L1D miss %.2f%% over %d refs, L2 miss %.2f%% over %d refs)",
-		v, reason, 100*rep.L1D.MissRate(), rep.L1D.Accesses,
-		100*rep.L2.MissRate(), rep.L2.Accesses)
+	es := metrics.Snapshot(rep)
+	rate := func(name string) float64 {
+		r, err := m.set.Eval(name, es)
+		if err != nil {
+			return 0
+		}
+		return r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s; L1D miss %.2f%% over %d refs, L2 miss %.2f%% over %d refs",
+		v, reason, 100*rate("l1d.miss_rate"), rep.L1D.Accesses,
+		100*rate("l2.miss_rate"), rep.L2.Accesses)
+	if m.th.L1CrossEvictionRate > 0 {
+		fmt.Fprintf(&b, ", L1D cross-eviction %.2f%% (%d displaced)",
+			100*rate("l1d.cross_eviction_rate"), rep.L1D.CrossEvictions)
+	}
+	b.WriteString(")")
+	return b.String()
 }

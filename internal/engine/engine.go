@@ -31,7 +31,8 @@ type Job[T any] struct {
 // machine MUST return it to a seed-determined state (Reset, Reseed)
 // before use, or results would depend on which worker ran which cell.
 type Workspace struct {
-	m map[string]any
+	m   map[string]any
+	tel *Telemetry
 }
 
 // Get returns the value stored under key, constructing it with mk on
@@ -44,6 +45,8 @@ func (w *Workspace) Get(key string, mk func() any) any {
 	if !ok {
 		v = mk()
 		w.m[key] = v
+	} else {
+		w.tel.reuseHit()
 	}
 	return v
 }
@@ -118,6 +121,11 @@ type Options struct {
 	// survive across grids — the daemon configuration. Determinism is
 	// unaffected: jobs derive everything from their seeds.
 	Pool *Pool
+	// Telemetry, if set, records per-cell lifecycle counters, the
+	// wall-time histogram and load gauges for this run. When nil and
+	// Pool carries telemetry (NewPoolWithTelemetry), the pool's is
+	// used; otherwise the run is uninstrumented.
+	Telemetry *Telemetry
 }
 
 // WorkersEnv is the environment variable that overrides the default
@@ -169,6 +177,11 @@ func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 	}
 	ctx := opts.Context
 	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
+	tel := opts.Telemetry
+	if tel == nil && opts.Pool != nil {
+		tel = opts.Pool.tel
+	}
+	tel.enqueue(len(jobs))
 
 	var mu sync.Mutex // serializes Progress calls and the done counter
 	done := 0
@@ -185,6 +198,7 @@ func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 	// error) when the run has been cancelled. Each index reaches
 	// exactly one runOne/skip call, so out needs no locking.
 	skip := func(i int) {
+		tel.skip()
 		out[i] = Result[T]{Name: jobs[i].Name, Seed: jobs[i].Seed, Err: ctx.Err()}
 	}
 	runOne := func(i int, ws *Workspace) {
@@ -192,6 +206,7 @@ func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 			skip(i)
 			return
 		}
+		tel.dispatch()
 		start := time.Now()
 		func() {
 			defer func() {
@@ -206,6 +221,8 @@ func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 			}
 		}()
 		wall := time.Since(start)
+		_, panicked := out[i].Err.(*PanicError)
+		tel.done(wall, panicked)
 		out[i].Name, out[i].Seed, out[i].Wall = jobs[i].Name, jobs[i].Seed, wall
 		finish(i, wall)
 	}
@@ -214,7 +231,7 @@ func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 	case opts.Pool != nil:
 		opts.Pool.run(len(jobs), ctx, func(i int, ws *Workspace) { runOne(i, ws) }, skip)
 	case opts.workers() == 1 || len(jobs) == 1:
-		ws := &Workspace{}
+		ws := &Workspace{tel: tel}
 		for i := range jobs {
 			runOne(i, ws)
 		}
@@ -229,7 +246,7 @@ func Run[T any](jobs []Job[T], opts Options) []Result[T] {
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				ws := &Workspace{}
+				ws := &Workspace{tel: tel}
 				for i := range idx {
 					runOne(i, ws)
 				}

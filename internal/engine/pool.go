@@ -22,20 +22,27 @@ type Pool struct {
 	wg    sync.WaitGroup
 	size  int
 	once  sync.Once
+	tel   *Telemetry
 }
 
 // NewPool starts a pool of n persistent workers (n <= 0 selects
 // DefaultWorkers()). Close releases them.
-func NewPool(n int) *Pool {
+func NewPool(n int) *Pool { return NewPoolWithTelemetry(n, nil) }
+
+// NewPoolWithTelemetry is NewPool with instrumentation attached: every
+// Run on the pool that does not set its own Options.Telemetry records
+// through tel, and the workers' Workspaces count their reuse hits
+// there. A nil tel yields an uninstrumented pool.
+func NewPoolWithTelemetry(n int, tel *Telemetry) *Pool {
 	if n <= 0 {
 		n = DefaultWorkers()
 	}
-	p := &Pool{tasks: make(chan func(*Workspace)), size: n}
+	p := &Pool{tasks: make(chan func(*Workspace)), size: n, tel: tel}
 	p.wg.Add(n)
 	for w := 0; w < n; w++ {
 		go func() {
 			defer p.wg.Done()
-			ws := &Workspace{}
+			ws := &Workspace{tel: tel}
 			for f := range p.tasks {
 				f(ws)
 			}

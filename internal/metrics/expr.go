@@ -1,0 +1,323 @@
+package metrics
+
+// The derived-metric expression language: a deliberately small,
+// PerfSpect-shaped grammar over event names.
+//
+//	expr    := term  (('+' | '-') term)*
+//	term    := unary (('*' | '/') unary)*
+//	unary   := '-' unary | primary
+//	primary := NUMBER | NAME | 'safe_div' '(' expr ',' expr ')' | '(' expr ')'
+//	NAME    := [A-Za-z_] [A-Za-z0-9_.]*
+//
+// Division is total: x/0 and safe_div(x, 0) are 0, so a rate over an
+// idle counter reads as 0 rather than NaN — the same convention the
+// hand-written MissRate helpers used before this layer existed.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is one parsed derived-metric expression, evaluatable against
+// any event lookup.
+type Expr struct {
+	src  string
+	root node
+}
+
+// Parse compiles an expression. The returned error carries the byte
+// offset of the offending token.
+func Parse(src string) (*Expr, error) {
+	p := &parser{src: src}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("metrics: parse %q: trailing input at offset %d", src, p.pos)
+	}
+	return &Expr{src: src, root: root}, nil
+}
+
+// MustParse is Parse for expressions that are compile-time constants.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// String returns the original source text of the expression.
+func (e *Expr) String() string { return e.src }
+
+// Refs returns every event/metric name the expression references, in
+// first-appearance order without duplicates.
+func (e *Expr) Refs() []string {
+	var out []string
+	seen := map[string]bool{}
+	e.root.refs(func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	})
+	return out
+}
+
+// Eval computes the expression. lookup resolves a name to its value;
+// returning ok=false makes Eval fail with an unknown-event error.
+// Evaluation is total on finite inputs: it never panics, and division
+// by zero yields 0.
+func (e *Expr) Eval(lookup func(name string) (float64, bool)) (float64, error) {
+	return e.root.eval(e.src, lookup)
+}
+
+// --- AST ---
+
+type node interface {
+	eval(src string, lookup func(string) (float64, bool)) (float64, error)
+	refs(visit func(name string))
+}
+
+type numNode float64
+
+func (n numNode) eval(string, func(string) (float64, bool)) (float64, error) {
+	return float64(n), nil
+}
+func (numNode) refs(func(string)) {}
+
+type refNode string
+
+func (n refNode) eval(src string, lookup func(string) (float64, bool)) (float64, error) {
+	v, ok := lookup(string(n))
+	if !ok {
+		return 0, fmt.Errorf("metrics: unknown event %q in %q", string(n), src)
+	}
+	return v, nil
+}
+func (n refNode) refs(visit func(string)) { visit(string(n)) }
+
+type negNode struct{ x node }
+
+func (n negNode) eval(src string, lookup func(string) (float64, bool)) (float64, error) {
+	v, err := n.x.eval(src, lookup)
+	return -v, err
+}
+func (n negNode) refs(visit func(string)) { n.x.refs(visit) }
+
+type binNode struct {
+	op   byte // '+', '-', '*', '/'  ('/' is safe_div)
+	l, r node
+}
+
+func (n binNode) eval(src string, lookup func(string) (float64, bool)) (float64, error) {
+	l, err := n.l.eval(src, lookup)
+	if err != nil {
+		return 0, err
+	}
+	r, err := n.r.eval(src, lookup)
+	if err != nil {
+		return 0, err
+	}
+	switch n.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	default: // '/'
+		if r == 0 {
+			return 0, nil
+		}
+		return l / r, nil
+	}
+}
+func (n binNode) refs(visit func(string)) { n.l.refs(visit); n.r.refs(visit) }
+
+// --- parser ---
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("metrics: parse %q: %s at offset %d", p.src, fmt.Sprintf(format, args...), p.pos)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// peek returns the next non-space byte without consuming it (0 at EOF).
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		if op != '+' && op != '-' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+}
+
+func (p *parser) parseTerm() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		if op != '*' && op != '/' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.peek() == '-' {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negNode{x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameByte(c byte) bool {
+	return isNameStart(c) || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return inner, nil
+
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if c >= '0' && c <= '9' || c == '.' {
+				p.pos++
+				continue
+			}
+			// Exponent part: e/E, optional sign, then digits.
+			if (c == 'e' || c == 'E') && p.pos > start {
+				q := p.pos + 1
+				if q < len(p.src) && (p.src[q] == '+' || p.src[q] == '-') {
+					q++
+				}
+				if q < len(p.src) && p.src[q] >= '0' && p.src[q] <= '9' {
+					p.pos = q
+					continue
+				}
+			}
+			break
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			p.pos = start
+			return nil, p.errf("bad number %q", p.src[start:p.pos])
+		}
+		return numNode(v), nil
+
+	case isNameStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		if p.peek() != '(' {
+			return refNode(name), nil
+		}
+		// Function call: only safe_div(a, b) exists.
+		if name != "safe_div" {
+			p.pos = start
+			return nil, p.errf("unknown function %q", name)
+		}
+		p.pos++ // '('
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ',' {
+			return nil, p.errf("safe_div wants two arguments")
+		}
+		p.pos++
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, p.errf("missing ')' after safe_div arguments")
+		}
+		p.pos++
+		return binNode{op: '/', l: a, r: b}, nil
+
+	case c == 0:
+		return nil, p.errf("unexpected end of expression")
+	default:
+		return nil, p.errf("unexpected %q", string(c))
+	}
+}
+
+// sanitizeEvent maps an arbitrary string (a Prometheus label value,
+// say) onto the expression language's name charset so registry series
+// can be referenced from expressions.
+func sanitizeEvent(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if isNameByte(c) && c != '.' {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

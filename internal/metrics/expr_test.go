@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func evalOn(t *testing.T, src string, events EventSet) float64 {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	v, err := e.Eval(func(name string) (float64, bool) {
+		val, ok := events[name]
+		return val, ok
+	})
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestExprEval(t *testing.T) {
+	events := EventSet{
+		"l1d.accesses": 200, "l1d.misses": 8, "l1d.cross_evictions": 16,
+		"l2.accesses": 0, "l2.misses": 0, "x": 3, "y": 4, "_z": 5,
+	}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1", 1},
+		{"  2.5\t", 2.5},
+		{"1e3", 1000},
+		{"2E-2", 0.02},
+		{"x + y", 7},
+		{"x - y", -1},
+		{"x * y", 12},
+		{"y / x", 4.0 / 3.0},
+		{"x + y * 2", 11},   // precedence: * binds tighter
+		{"(x + y) * 2", 14}, // parentheses override
+		{"x - y - 1", -2},   // left associativity
+		{"12 / y / x", 1},   // left associativity of /
+		{"-x", -3},
+		{"--x", 3},
+		{"-x * y", -12},
+		{"2 * -x", -6},
+		{"_z", 5},
+		{"l1d.misses / l1d.accesses", 0.04},
+		{"l2.misses / l2.accesses", 0}, // div-by-zero → 0
+		{"safe_div(x, 0)", 0},          // explicit guard, same convention
+		{"safe_div(x + y, 2)", 3.5},
+		{"1 / 0", 0},
+		{"0 / 0", 0},
+		{"l1d.cross_evictions / l1d.accesses * 100", 8},
+	}
+	for _, tc := range cases {
+		if got := evalOn(t, tc.src, events); got != tc.want {
+			t.Errorf("eval(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestExprParseErrors(t *testing.T) {
+	bad := []string{
+		"", "   ", "+", "1 +", "(1", "1)", "* 2", "x y", "1..2.3.4e",
+		"foo(1, 2)", "safe_div(1)", "safe_div(1, 2", "safe_div(1 2)",
+		"1 @ 2", "1e", "1e+",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestExprUnknownEvent(t *testing.T) {
+	e := MustParse("nope / 2")
+	_, err := e.Eval(func(string) (float64, bool) { return 0, false })
+	if err == nil || !strings.Contains(err.Error(), `unknown event "nope"`) {
+		t.Fatalf("want unknown-event error, got %v", err)
+	}
+}
+
+func TestExprRefs(t *testing.T) {
+	e := MustParse("a + b * safe_div(a, c.d) - 2")
+	got := e.Refs()
+	want := []string{"a", "b", "c.d"}
+	if len(got) != len(want) {
+		t.Fatalf("Refs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Refs() = %v, want %v", got, want)
+		}
+	}
+	if e.String() != "a + b * safe_div(a, c.d) - 2" {
+		t.Fatalf("String() = %q", e.String())
+	}
+}
+
+func TestSetEvalAndShadowing(t *testing.T) {
+	s := MustNewSet(
+		Def{Name: "rate", Expr: "m / a"},
+		Def{Name: "pct", Expr: "rate * 100"}, // references an earlier def
+	)
+	src := EventSet{"m": 5, "a": 50, "rate": 999} // raw event shadowed by def
+	v, err := s.Eval("rate", src)
+	if err != nil || v != 0.1 {
+		t.Fatalf("Eval(rate) = %v, %v; want 0.1", v, err)
+	}
+	v, err = s.Eval("pct", src)
+	if err != nil || v != 10 {
+		t.Fatalf("Eval(pct) = %v, %v; want 10", v, err)
+	}
+	// Bare events still pass through.
+	v, err = s.Eval("a", src)
+	if err != nil || v != 50 {
+		t.Fatalf("Eval(a) = %v, %v; want 50", v, err)
+	}
+	if _, err := s.Eval("missing", src); err == nil {
+		t.Fatal("Eval(missing) succeeded, want error")
+	}
+	v, err = s.EvalExpr("pct / 2", src)
+	if err != nil || v != 5 {
+		t.Fatalf("EvalExpr(pct / 2) = %v, %v; want 5", v, err)
+	}
+}
+
+func TestNewSetRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		defs []Def
+	}{
+		{"duplicate", []Def{{Name: "a", Expr: "1"}, {Name: "a", Expr: "2"}}},
+		{"self-reference", []Def{{Name: "a", Expr: "a + 1"}}},
+		{"forward-reference", []Def{{Name: "a", Expr: "b"}, {Name: "b", Expr: "1"}}},
+		{"bad-expr", []Def{{Name: "a", Expr: "1 +"}}},
+		{"empty-name", []Def{{Name: "", Expr: "1"}}},
+		{"bad-name", []Def{{Name: "9lives", Expr: "1"}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewSet(tc.defs...); err == nil {
+			t.Errorf("%s: NewSet succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestDefaultSetMatchesHandWrittenRates(t *testing.T) {
+	src := EventSet{
+		"l1d.accesses": 1000, "l1d.misses": 37, "l1d.evictions": 21,
+		"l1d.cross_evictions": 9,
+		"l2.accesses":         300, "l2.misses": 150,
+		"llc.accesses": 0, "llc.misses": 0,
+	}
+	checks := map[string]float64{
+		"l1d.miss_rate":           float64(37) / float64(1000),
+		"l1d.eviction_rate":       float64(21) / float64(1000),
+		"l1d.cross_eviction_rate": float64(9) / float64(1000),
+		"l2.miss_rate":            float64(150) / float64(300),
+		"llc.miss_rate":           0, // idle level: safe division
+	}
+	for name, want := range checks {
+		got, err := Default().Eval(name, src)
+		if err != nil {
+			t.Fatalf("Eval(%s): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("Eval(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if Default().ExprOf("l1d.miss_rate") != "l1d.misses / l1d.accesses" {
+		t.Fatalf("ExprOf(l1d.miss_rate) = %q", Default().ExprOf("l1d.miss_rate"))
+	}
+}
+
+func TestPrefixedAndSnapshotAccumulate(t *testing.T) {
+	base := EventSet{"hits": 2, "misses": 1}
+	pre := Snapshot(Prefixed("l1d", base))
+	if pre["l1d.hits"] != 2 || pre["l1d.misses"] != 1 {
+		t.Fatalf("Prefixed snapshot = %v", pre)
+	}
+	// Duplicate emits accumulate.
+	dup := Snapshot(sourceFunc(func(emit func(string, float64)) {
+		emit("n", 1)
+		emit("n", 2)
+	}))
+	if dup["n"] != 3 {
+		t.Fatalf("duplicate emits: got %v, want 3", dup["n"])
+	}
+}
+
+type sourceFunc func(emit func(string, float64))
+
+func (f sourceFunc) EmitEvents(emit func(string, float64)) { f(emit) }
+
+func FuzzMetricExpr(f *testing.F) {
+	seeds := []string{
+		"l1d.misses / l1d.accesses",
+		"safe_div(a+b, c-d) * 100",
+		"-(1.5e3 + x) / (y * 0)",
+		"((((a))))",
+		"safe_div(safe_div(a,b), safe_div(c,d))",
+		"1 +", "x..y", ")(", "safe_div(", "\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src) // must never panic
+		if err != nil {
+			return
+		}
+		// Eval must be total on finite inputs: no panic, and an error
+		// only for unknown events — which the constant lookup rules out.
+		v, err := e.Eval(func(string) (float64, bool) { return 1, true })
+		if err != nil {
+			t.Fatalf("Eval(%q) errored with total lookup: %v", src, err)
+		}
+		_ = v // may be Inf/NaN from literal overflow arithmetic; must not panic
+		if !utf8.ValidString(src) {
+			return
+		}
+		// Round-trip: String() is the original source.
+		if e.String() != src {
+			t.Fatalf("String() = %q, want %q", e.String(), src)
+		}
+		_ = math.IsNaN(v)
+	})
+}

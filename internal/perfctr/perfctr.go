@@ -3,6 +3,11 @@
 // level of the hierarchy, as Linux perf would report them. In the simulator
 // the counters are exact (the cache layer attributes every access to a
 // requestor id).
+//
+// Report and LevelCounters implement the metrics.Source interface
+// structurally, exporting their counters as named PMU-style events
+// ("l1d.accesses", "l2.misses", ...) for the derived-metric expression
+// layer in internal/metrics.
 package perfctr
 
 import (
@@ -11,6 +16,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/hier"
+	"repro/internal/metrics"
 )
 
 // LevelCounters is the per-level counter view for one process.
@@ -24,6 +30,14 @@ type LevelCounters struct {
 	// thresholds on).
 	Evictions      uint64
 	CrossEvictions uint64
+}
+
+// Add merges another level's counters into l (Level is kept).
+func (l *LevelCounters) Add(o LevelCounters) {
+	l.Accesses += o.Accesses
+	l.Misses += o.Misses
+	l.Evictions += o.Evictions
+	l.CrossEvictions += o.CrossEvictions
 }
 
 // MissRate returns Misses/Accesses (0 when idle).
@@ -44,6 +58,15 @@ func (l LevelCounters) CrossEvictionRate() float64 {
 	return float64(l.CrossEvictions) / float64(l.Accesses)
 }
 
+// EmitEvents exports the counters as unprefixed events ("accesses",
+// "misses", "evictions", "cross_evictions") — a metrics.Source.
+func (l LevelCounters) EmitEvents(emit func(string, float64)) {
+	emit("accesses", float64(l.Accesses))
+	emit("misses", float64(l.Misses))
+	emit("evictions", float64(l.Evictions))
+	emit("cross_evictions", float64(l.CrossEvictions))
+}
+
 // Report is the perf view of one process (requestor id) over a run.
 type Report struct {
 	Requestor int
@@ -53,14 +76,26 @@ type Report struct {
 	HasLLC    bool
 }
 
+// EmitEvents exports every level's counters under the standard event
+// prefixes ("l1d.accesses", "l2.misses", "llc.cross_evictions", ...),
+// making Report a metrics.Source. LLC events are only emitted when the
+// hierarchy modeled one.
+func (r Report) EmitEvents(emit func(string, float64)) {
+	metrics.Prefixed("l1d", r.L1D).EmitEvents(emit)
+	metrics.Prefixed("l2", r.L2).EmitEvents(emit)
+	if r.HasLLC {
+		metrics.Prefixed("llc", r.LLC).EmitEvents(emit)
+	}
+}
+
 // Collect reads the per-requestor counters out of the hierarchy.
 func Collect(h *hier.Hierarchy, requestor int) Report {
 	rep := Report{Requestor: requestor}
-	rep.L1D = fromStats("L1D", h.L1().RequestorStats(requestor))
-	rep.L2 = fromStats("L2", h.L2().RequestorStats(requestor))
+	rep.L1D = FromStats("L1D", h.L1().RequestorStats(requestor))
+	rep.L2 = FromStats("L2", h.L2().RequestorStats(requestor))
 	if llc := h.LLC(); llc != nil {
 		rep.HasLLC = true
-		rep.LLC = fromStats("LLC", llc.RequestorStats(requestor))
+		rep.LLC = FromStats("LLC", llc.RequestorStats(requestor))
 	}
 	return rep
 }
@@ -84,10 +119,6 @@ func FromL1Stats(requestor int, s cache.Stats) Report {
 	return rep
 }
 
-func fromStats(level string, s cache.Stats) LevelCounters {
-	return FromStats(level, s)
-}
-
 // CollectCombined merges the counters of several requestors (Table VII
 // reports victim + attacker together during a Spectre run).
 func CollectCombined(h *hier.Hierarchy, requestors ...int) Report {
@@ -96,29 +127,30 @@ func CollectCombined(h *hier.Hierarchy, requestors ...int) Report {
 	rep.L1D.Level, rep.L2.Level, rep.LLC.Level = "L1D", "L2", "LLC"
 	for _, r := range requestors {
 		one := Collect(h, r)
-		rep.L1D.Accesses += one.L1D.Accesses
-		rep.L1D.Misses += one.L1D.Misses
-		rep.L1D.Evictions += one.L1D.Evictions
-		rep.L1D.CrossEvictions += one.L1D.CrossEvictions
-		rep.L2.Accesses += one.L2.Accesses
-		rep.L2.Misses += one.L2.Misses
-		rep.L2.Evictions += one.L2.Evictions
-		rep.L2.CrossEvictions += one.L2.CrossEvictions
-		rep.LLC.Accesses += one.LLC.Accesses
-		rep.LLC.Misses += one.LLC.Misses
-		rep.LLC.Evictions += one.LLC.Evictions
-		rep.LLC.CrossEvictions += one.LLC.CrossEvictions
+		rep.L1D.Add(one.L1D)
+		rep.L2.Add(one.L2)
+		rep.LLC.Add(one.LLC)
 		rep.HasLLC = rep.HasLLC || one.HasLLC
 	}
 	return rep
 }
 
-// String renders the report in the Table VI style.
+// String renders the report in the Table VI style. The percentages are
+// the metrics-layer definitions ("l1d.miss_rate" etc.) evaluated over
+// this report's events.
 func (r Report) String() string {
+	set := metrics.Default()
+	rate := func(name string) float64 {
+		v, err := set.Eval(name, r)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "L1D %6.2f%%  L2 %6.2f%%", 100*r.L1D.MissRate(), 100*r.L2.MissRate())
+	fmt.Fprintf(&b, "L1D %6.2f%%  L2 %6.2f%%", 100*rate("l1d.miss_rate"), 100*rate("l2.miss_rate"))
 	if r.HasLLC {
-		fmt.Fprintf(&b, "  LLC %6.2f%%", 100*r.LLC.MissRate())
+		fmt.Fprintf(&b, "  LLC %6.2f%%", 100*rate("llc.miss_rate"))
 	}
 	return b.String()
 }

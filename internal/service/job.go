@@ -36,6 +36,9 @@ type ProgressEvent struct {
 	Total  int     `json:"total"`
 	Name   string  `json:"name"`
 	WallMs float64 `json:"wallMs"`
+	// ElapsedNs is the cell's exact host wall time in nanoseconds
+	// (WallMs is the same quantity rounded for human eyes).
+	ElapsedNs int64 `json:"elapsed_ns"`
 }
 
 // Job is one submitted experiment: the unit of deduplication, caching,
@@ -48,6 +51,9 @@ type Job struct {
 
 	// compiled is the validated, resolved grid (set once at submit).
 	compiled *compiledSpec
+	// tel, when set by the owning server, accounts lifecycle
+	// transitions; nil for jobs constructed outside a server.
+	tel *telemetry
 
 	mu        sync.Mutex
 	status    Status
@@ -114,6 +120,7 @@ func (j *Job) recordEvent(ev engine.Event) {
 	j.events = append(j.events, ProgressEvent{
 		Seq: len(j.events), Index: ev.Index, Done: ev.Done, Total: ev.Total,
 		Name: ev.Name, WallMs: float64(ev.Wall.Microseconds()) / 1000,
+		ElapsedNs: ev.Wall.Nanoseconds(),
 	})
 }
 
@@ -130,6 +137,7 @@ func (j *Job) markRunning(cancel context.CancelFunc) bool {
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.tel.jobRunning()
 	return true
 }
 
@@ -139,6 +147,7 @@ func (j *Job) finish(st Status, report, errMsg string) bool {
 	if j.status.terminal() {
 		return false
 	}
+	j.tel.jobFinished(j.status, st)
 	j.status = st
 	j.report = report
 	j.errMsg = errMsg
@@ -155,6 +164,7 @@ func (j *Job) finish(st Status, report, errMsg string) bool {
 func (j *Job) requestCancel() bool {
 	j.mu.Lock()
 	if j.status == StatusQueued {
+		j.tel.jobFinished(StatusQueued, StatusCanceled)
 		j.status = StatusCanceled
 		j.finished = time.Now()
 		close(j.done)

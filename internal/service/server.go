@@ -10,6 +10,7 @@ import (
 
 	"repro"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 )
 
 // Config sizes the server.
@@ -31,6 +32,7 @@ type Config struct {
 type Server struct {
 	cfg  Config
 	pool *engine.Pool
+	tel  *telemetry
 
 	mu       sync.Mutex
 	jobs     map[string]*Job // by ID
@@ -44,7 +46,8 @@ type Server struct {
 	wg     sync.WaitGroup
 	once   sync.Once
 
-	mux *http.ServeMux
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in HTTP instrumentation
 
 	// exec runs a compiled spec; replaced by tests to inject failures.
 	exec func(*compiledSpec, lruleak.RunOptions) string
@@ -62,9 +65,11 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4096
 	}
+	tel := newTelemetry()
 	s := &Server{
 		cfg:      cfg,
-		pool:     engine.NewPool(cfg.EngineWorkers),
+		pool:     engine.NewPoolWithTelemetry(cfg.EngineWorkers, tel.engine),
+		tel:      tel,
 		jobs:     map[string]*Job{},
 		byKey:    map[string]*Job{},
 		attempts: map[string]int{},
@@ -84,6 +89,8 @@ func New(cfg Config) *Server {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.Handle("GET /metrics", tel.reg)
+	s.handler = tel.instrument(s.mux)
 	s.wg.Add(cfg.Runners)
 	for i := 0; i < cfg.Runners; i++ {
 		go s.runner()
@@ -111,7 +118,12 @@ func (s *Server) Close() {
 	})
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Registry exposes the server's telemetry registry: the body of GET
+// /metrics, and the hook point for additional process-level series
+// (cmd/lruleakd mirrors it onto the debug listener).
+func (s *Server) Registry() *metrics.Registry { return s.tel.reg }
 
 // --- job lifecycle ---
 
@@ -132,6 +144,7 @@ func (s *Server) Submit(spec Spec) (*Job, bool, error) {
 		// the cache entry. Failed and canceled attempts are not — a
 		// resubmission retries with a fresh job under the same key.
 		if st := prev.Status(); st != StatusFailed && st != StatusCanceled {
+			s.tel.dedup(true)
 			return prev, true, nil
 		}
 	}
@@ -142,12 +155,15 @@ func (s *Server) Submit(spec Spec) (*Job, bool, error) {
 	}
 	j := newJob(id, key, spec)
 	j.compiled = compiled
+	j.tel = s.tel
 	select {
 	case s.queue <- j:
 	default:
 		s.attempts[key]--
 		return nil, false, ErrQueueFull
 	}
+	s.tel.dedup(false)
+	s.tel.jobQueued()
 	s.jobs[id] = j
 	s.byKey[key] = j
 	s.order = append(s.order, id)
