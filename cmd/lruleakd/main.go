@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lruleakd [-addr host:port] [-workers N] [-runners N] [-queue N]
+//	         [-store-dir dir] [-max-job-wall dur]
 //	         [-debug-addr host:port] [-quiet]
 //
 // The server validates every submitted spec up front (a bad spec is a
@@ -32,6 +33,20 @@
 // counts and latency histograms by route, and the engine pool's
 // per-cell instrumentation (engine_cell_wall_seconds,
 // engine_cells_*_total, queue/busy gauges).
+//
+// With -store-dir set, completed reports persist to a crash-safe
+// content-addressed store on disk: a restart on the same directory
+// answers repeat submissions from the persisted report without
+// re-executing a single engine cell (status carries "restored":true,
+// /metrics counts service_store_hits_total). Corrupt or torn entries
+// found at startup are quarantined into <dir>/corrupt/, never blocking
+// boot; persistent write failure degrades the server to memory-only
+// mode (logged, counted, surfaced in /healthz) instead of failing jobs.
+//
+// -max-job-wall caps (and defaults) every job's wall-clock budget; a
+// spec may set its own tighter "deadline_ms". A job that outruns its
+// budget stops at the next cell boundary in the distinct
+// deadline_exceeded state (report endpoint answers 504).
 //
 // With -debug-addr set, a SECOND listener (bind it to loopback) serves
 // net/http/pprof under /debug/pprof/ and mirrors /metrics, keeping
@@ -63,16 +78,19 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7090", "listen address")
-		workers   = flag.Int("workers", 0, "persistent engine pool size shared by all jobs (0 = all cores)")
-		runners   = flag.Int("runners", 0, "concurrent jobs (0 = pool size)")
-		queue     = flag.Int("queue", 0, "accepted-job backlog before 503s (0 = 4096)")
-		debugAddr = flag.String("debug-addr", "", "optional second listener serving /debug/pprof/ and /metrics (keep it on loopback)")
-		quiet     = flag.Bool("quiet", false, "suppress the per-request access log")
+		addr       = flag.String("addr", "127.0.0.1:7090", "listen address")
+		workers    = flag.Int("workers", 0, "persistent engine pool size shared by all jobs (0 = all cores)")
+		runners    = flag.Int("runners", 0, "concurrent jobs (0 = pool size)")
+		queue      = flag.Int("queue", 0, "accepted-job backlog before 503s (0 = 4096)")
+		storeDir   = flag.String("store-dir", "", "durable result store directory; completed reports persist here and survive restarts (empty = memory-only)")
+		maxJobWall = flag.Duration("max-job-wall", 0, "cap (and default) on every job's wall-clock budget, e.g. 2m (0 = unlimited)")
+		debugAddr  = flag.String("debug-addr", "", "optional second listener serving /debug/pprof/ and /metrics (keep it on loopback)")
+		quiet      = flag.Bool("quiet", false, "suppress the per-request access log")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -82,17 +100,36 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "lruleakd: ", log.LstdFlags)
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		EngineWorkers: *workers,
 		Runners:       *runners,
 		QueueDepth:    *queue,
-	})
+		MaxJobWall:    *maxJobWall,
+		Logf:          logger.Printf,
+	}
+	if *storeDir != "" {
+		// A store that cannot even be opened (mkdir failure, unreadable
+		// directory) is a deployment error worth dying on; everything
+		// after open is the degradation ladder's problem, not a crash.
+		disk, err := store.OpenDisk(*storeDir, store.DiskOptions{Logf: logger.Printf})
+		if err != nil {
+			logger.Fatalf("store: open %s: %v", *storeDir, err)
+		}
+		st := disk.Scan()
+		logger.Printf("store: %s (%d entries loaded, %d quarantined, %d temp files swept)",
+			*storeDir, st.Loaded, st.Quarantined, st.TempsRemoved)
+		cfg.Store = disk
+	}
+	svc := service.New(cfg)
 
 	var handler http.Handler = svc
 	if !*quiet {
 		handler = accessLog(logger, svc)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers — without it one slow-loris client per worker
+	// pins the listener forever.
+	httpSrv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -110,7 +147,7 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("GET /metrics", svc.Registry())
-		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Printf("debug listener: %v", err)

@@ -17,11 +17,24 @@ const (
 	StatusDone     Status = "done"
 	StatusFailed   Status = "failed"   // a cell panicked or execution errored
 	StatusCanceled Status = "canceled" // client cancel or server shutdown
+	// StatusDeadline marks a job whose wall-clock budget (the spec's
+	// deadline_ms, capped by the server's -max-job-wall) expired before
+	// the grid finished. Distinct from canceled so clients and
+	// telemetry can tell "you asked us to stop" from "it ran too long".
+	StatusDeadline Status = "deadline_exceeded"
 )
 
 // terminal reports whether no further transition can happen.
 func (s Status) terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled || s == StatusDeadline
+}
+
+// retryable reports whether a resubmission under the same content key
+// should start a fresh attempt instead of joining this job: only done
+// jobs are cache entries; failed, canceled and expired attempts are
+// not results.
+func (s Status) retryable() bool {
+	return s == StatusFailed || s == StatusCanceled || s == StatusDeadline
 }
 
 // ProgressEvent is one serialized engine.Event: cell Index of the
@@ -57,6 +70,7 @@ type Job struct {
 
 	mu        sync.Mutex
 	status    Status
+	restored  bool   // report loaded from the durable store, not computed
 	report    string // rendered result; the cache payload
 	errMsg    string // failure detail (panic value, execution error)
 	events    []ProgressEvent
@@ -75,6 +89,20 @@ func newJob(id, key string, spec Spec) *Job {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+}
+
+// newRestoredJob builds a job that is born terminal: its report was
+// loaded from the durable result store (a previous process lifetime
+// computed it) rather than executed. It never visits the queue, so no
+// queue/running gauges move for it.
+func newRestoredJob(id, key string, spec Spec, report string) *Job {
+	j := newJob(id, key, spec)
+	j.status = StatusDone
+	j.restored = true
+	j.report = report
+	j.finished = time.Now()
+	close(j.done)
+	return j
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -188,6 +216,7 @@ type JobView struct {
 	Kind      string  `json:"kind"`
 	Seed      uint64  `json:"seed"`
 	Status    Status  `json:"status"`
+	Restored  bool    `json:"restored,omitempty"` // served from the durable store
 	CellsDone int     `json:"cellsDone"`
 	Error     string  `json:"error,omitempty"`
 	WallMs    float64 `json:"wallMs,omitempty"`
@@ -199,7 +228,7 @@ func (j *Job) View() JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID: j.ID, Key: j.Key, Kind: j.Spec.Kind, Seed: j.Spec.Seed,
-		Status: j.status, CellsDone: j.cellsDone, Error: j.errMsg,
+		Status: j.status, Restored: j.restored, CellsDone: j.cellsDone, Error: j.errMsg,
 	}
 	if !j.started.IsZero() {
 		end := j.finished

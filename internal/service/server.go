@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"repro"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // Config sizes the server.
@@ -24,6 +26,27 @@ type Config struct {
 	// QueueDepth bounds the backlog of accepted-but-not-started jobs;
 	// <= 0 selects 4096. A full queue rejects submissions with 503.
 	QueueDepth int
+
+	// Store, if set, is the durable result store: completed job
+	// reports persist under their content key after render, and a
+	// submission whose key is already persisted is answered as a job
+	// born done — dedup across process lifetimes, zero engine cells.
+	// The server owns the store once handed over and closes it in
+	// Close. Nil runs memory-only.
+	Store store.Store
+	// MaxJobWall caps (and, for specs that set no deadline_ms,
+	// defaults) every job's wall-clock budget; 0 = unlimited.
+	MaxJobWall time.Duration
+	// StorePutRetries is how many backoff retries a failed persist
+	// gets before the server degrades to memory-only mode; <= 0
+	// selects 3.
+	StorePutRetries int
+	// StoreRetryBase is the first persist-retry delay, doubling per
+	// attempt and capped at 2s; <= 0 selects 50ms. Tests shrink it.
+	StoreRetryBase time.Duration
+	// Logf, if set, receives operational notices (store degradation,
+	// persist retries). The daemon passes its logger; nil is silent.
+	Logf func(format string, args ...any)
 }
 
 // Server is the leakage-analysis job server: a job store, a runner
@@ -39,6 +62,13 @@ type Server struct {
 	byKey    map[string]*Job // latest attempt per content key
 	attempts map[string]int  // submissions that created a job, per key
 	order    []string        // IDs in creation order
+
+	// storeDown flips once, when persist retries are exhausted: the
+	// degradation ladder's memory-only rung. Writes stop (reads are
+	// still attempted — a full disk usually keeps serving reads) and
+	// healthz + /metrics surface the reason. Sticky until restart.
+	storeDown   bool
+	storeReason string
 
 	queue  chan *Job
 	ctx    context.Context
@@ -85,10 +115,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", tel.reg)
 	s.handler = tel.instrument(s.mux)
 	s.wg.Add(cfg.Runners)
@@ -102,9 +129,10 @@ func New(cfg Config) *Server {
 func (s *Server) Workers() int { return s.pool.Workers() }
 
 // Close cancels every queued and running job, waits for the runners to
-// drain, and releases the engine pool. Running grids stop at their
-// next cell boundary; completed cells keep their results but the jobs
-// finish canceled.
+// drain, and releases the engine pool and the durable store. Running
+// grids stop at their next cell boundary; completed cells keep their
+// results but the jobs finish canceled. Reports persisted before the
+// Close stay persisted — that is the point of the store.
 func (s *Server) Close() {
 	s.once.Do(func() {
 		s.cancel()
@@ -115,6 +143,9 @@ func (s *Server) Close() {
 		}
 		s.mu.Unlock()
 		s.pool.Close()
+		if s.cfg.Store != nil {
+			s.cfg.Store.Close()
+		}
 	})
 }
 
@@ -127,9 +158,12 @@ func (s *Server) Registry() *metrics.Registry { return s.tel.reg }
 
 // --- job lifecycle ---
 
-// Submit validates a spec and either joins it onto an existing job
-// with the same content key (dedup) or queues a fresh one. The bool
-// reports a dedup hit. It is the programmatic core of POST /v1/jobs.
+// Submit validates a spec and answers it from the cheapest source
+// that has it: an in-process job with the same content key (dedup
+// join), the durable store (a previous process lifetime computed it —
+// the job comes back born done, zero engine cells), or a fresh queued
+// job. The bool reports a dedup/store hit. It is the programmatic
+// core of POST /v1/jobs.
 func (s *Server) Submit(spec Spec) (*Job, bool, error) {
 	compiled, fieldErrs := compile(spec)
 	if len(fieldErrs) > 0 {
@@ -141,18 +175,20 @@ func (s *Server) Submit(spec Spec) (*Job, bool, error) {
 	defer s.mu.Unlock()
 	if prev, ok := s.byKey[key]; ok {
 		// Queued, running and done attempts are joinable: the job IS
-		// the cache entry. Failed and canceled attempts are not — a
-		// resubmission retries with a fresh job under the same key.
-		if st := prev.Status(); st != StatusFailed && st != StatusCanceled {
+		// the cache entry. Failed, canceled and deadline-expired
+		// attempts are not — a resubmission retries with a fresh job
+		// under the same key (and may still hit the store below, e.g.
+		// a report persisted before an attempt that was canceled).
+		if st := prev.Status(); !st.retryable() {
 			s.tel.dedup(true)
 			return prev, true, nil
 		}
 	}
-	s.attempts[key]++
-	id := "j-" + key[:16]
-	if n := s.attempts[key]; n > 1 {
-		id = fmt.Sprintf("%s-r%d", id, n)
+	if j, ok := s.restoreLocked(key, spec); ok {
+		return j, true, nil
 	}
+	s.attempts[key]++
+	id := s.jobIDLocked(key)
 	j := newJob(id, key, spec)
 	j.compiled = compiled
 	j.tel = s.tel
@@ -168,6 +204,52 @@ func (s *Server) Submit(spec Spec) (*Job, bool, error) {
 	s.byKey[key] = j
 	s.order = append(s.order, id)
 	return j, false, nil
+}
+
+// jobIDLocked allocates the next job ID for key: the key prefix, plus
+// a retry suffix when earlier attempts exist. Caller holds s.mu and
+// has already incremented s.attempts[key].
+func (s *Server) jobIDLocked(key string) string {
+	id := "j-" + key[:16]
+	if n := s.attempts[key]; n > 1 {
+		id = fmt.Sprintf("%s-r%d", id, n)
+	}
+	return id
+}
+
+// restoreLocked consults the durable store for a persisted report
+// under key and, on a verified hit, registers a job born done serving
+// it. Store read errors (including a quarantined-corrupt entry) are
+// misses: the job recomputes, and determinism guarantees the rewrite
+// is byte-identical. Caller holds s.mu.
+func (s *Server) restoreLocked(key string, spec Spec) (*Job, bool) {
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	payload, err := s.cfg.Store.Get(key)
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) {
+			s.logf("store: get %s: %v (recomputing)", key[:16], err)
+		}
+		s.tel.storeMiss()
+		return nil, false
+	}
+	s.attempts[key]++
+	id := s.jobIDLocked(key)
+	j := newRestoredJob(id, key, spec, string(payload))
+	j.tel = s.tel
+	s.tel.jobRestored()
+	s.jobs[id] = j
+	s.byKey[key] = j
+	s.order = append(s.order, id)
+	return j, true
+}
+
+// logf forwards to Config.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // JobByID looks a job up.
@@ -190,13 +272,19 @@ func (s *Server) runner() {
 	}
 }
 
-// runJob executes one job on the shared pool. Three exits: done with a
-// rendered report, canceled (job context or server shutdown), or
-// failed — a panicking cell is recovered by the engine, re-raised
-// after the grid drains, and caught here, so it takes down exactly one
-// job, never the process or a sibling job's work.
+// runJob executes one job on the shared pool. Four exits: done with a
+// rendered (and, when a store is configured, persisted) report,
+// deadline_exceeded (the job's wall-clock budget ran out), canceled
+// (job context or server shutdown), or failed — a panicking cell is
+// recovered by the engine, re-raised after the grid drains, and
+// caught here, so it takes down exactly one job, never the process or
+// a sibling job's work.
 func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(s.ctx)
+	if d := s.jobDeadline(j); d > 0 {
+		cancel()
+		ctx, cancel = context.WithTimeout(s.ctx, d)
+	}
 	defer cancel()
 	if !j.markRunning(cancel) {
 		return // canceled while queued
@@ -215,11 +303,89 @@ func (s *Server) runJob(j *Job) {
 		Context:  ctx,
 		Progress: j.recordEvent,
 	})
-	if ctx.Err() != nil {
-		j.finish(StatusCanceled, "", ctx.Err().Error())
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			j.finish(StatusDeadline, "", fmt.Sprintf("deadline of %v exceeded", s.jobDeadline(j)))
+		} else {
+			j.finish(StatusCanceled, "", err.Error())
+		}
 		return
 	}
+	// Persist BEFORE marking done: once a client sees status done, the
+	// report is already durable (or the server has degraded) — the
+	// guarantee the crash-restart CI smoke leans on.
+	s.persist(j.Key, report)
 	j.finish(StatusDone, report, "")
+}
+
+// jobDeadline resolves a job's effective wall-clock budget: the spec's
+// deadline_ms, capped by (or defaulting to) the server's MaxJobWall.
+func (s *Server) jobDeadline(j *Job) time.Duration {
+	d := j.compiled.deadline
+	if max := s.cfg.MaxJobWall; max > 0 && (d == 0 || d > max) {
+		d = max
+	}
+	return d
+}
+
+// persist durably stores a finished report under its content key,
+// retrying transient failures with capped exponential backoff. When
+// the retries are exhausted the server flips to memory-only mode:
+// jobs keep succeeding from memory, the degradation is logged,
+// counted in /metrics, and surfaced in healthz. Never called once
+// degraded — Put storms on a dead disk would only slow every job.
+func (s *Server) persist(key, report string) {
+	if s.cfg.Store == nil || s.degradedStore() != "" {
+		return
+	}
+	retries := s.cfg.StorePutRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	delay := s.cfg.StoreRetryBase
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = s.cfg.Store.Put(key, []byte(report)); err == nil {
+			s.tel.storePersist()
+			return
+		}
+		if attempt >= retries {
+			s.tel.storePutFailure(false)
+			break
+		}
+		s.tel.storePutFailure(true)
+		s.logf("store: put %s failed (attempt %d/%d), retrying in %v: %v",
+			key[:16], attempt+1, retries+1, delay, err)
+		select {
+		case <-time.After(delay):
+		case <-s.ctx.Done():
+			return // shutting down; not a disk verdict
+		}
+		if delay *= 2; delay > 2*time.Second {
+			delay = 2 * time.Second
+		}
+	}
+	s.mu.Lock()
+	if !s.storeDown {
+		s.storeDown = true
+		s.storeReason = err.Error()
+		s.tel.storeDegrade()
+		s.logf("store: degrading to memory-only mode after %d failed attempts: %v", retries+1, err)
+	}
+	s.mu.Unlock()
+}
+
+// degradedStore returns the degradation reason, or "" while healthy.
+func (s *Server) degradedStore() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.storeDown {
+		return ""
+	}
+	return s.storeReason
 }
 
 // ErrQueueFull rejects submissions when the backlog is at QueueDepth.
@@ -269,6 +435,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid spec", Fields: err.Fields})
 		return
 	default:
+		// A full queue is a transient condition: tell well-behaved
+		// clients when to come back instead of letting them hammer.
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+		}
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	}
@@ -329,8 +500,22 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: j.Err()})
 	case StatusCanceled:
 		writeJSON(w, http.StatusGone, errorBody{Error: "job canceled: " + j.Err()})
+	case StatusDeadline:
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "job " + j.Err()})
 	default:
 		writeJSON(w, http.StatusConflict, j.View())
+	}
+}
+
+// handleHealthz is the liveness probe. The first line is always "ok" —
+// a degraded store never makes the server unhealthy, it makes it
+// memory-only — and the degradation, when present, is a second line a
+// human or a probe regex can pick up.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+	if reason := s.degradedStore(); reason != "" {
+		fmt.Fprintf(w, "store: degraded (memory-only): %s\n", reason)
 	}
 }
 

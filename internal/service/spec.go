@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro"
 )
@@ -31,6 +32,17 @@ func Kinds() []string { return []string{KindAttack, KindStream, KindROC} }
 type Spec struct {
 	Kind string `json:"kind"`
 	Seed uint64 `json:"seed"`
+
+	// DeadlineMS, when positive, bounds the job's wall-clock execution
+	// in milliseconds: if the grid has not finished by then, the run is
+	// cancelled at its next cell boundary and the job finishes in the
+	// distinct deadline_exceeded state. The server's -max-job-wall flag
+	// caps (and defaults) this. A deadline is an execution budget, not
+	// part of the experiment, so it is deliberately EXCLUDED from the
+	// content key — two submissions differing only in deadline name the
+	// same result, and a submission may join an in-flight job that was
+	// queued under a different deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 
 	Attack *AttackSpec `json:"attack,omitempty"`
 	Stream *StreamSpec `json:"stream,omitempty"`
@@ -100,6 +112,9 @@ type ROCSpec struct {
 type compiledSpec struct {
 	kind string
 	seed uint64
+	// deadline is the job's wall-clock budget (0 = none); not part of
+	// the content key.
+	deadline time.Duration
 
 	attack lruleak.AttackSpec
 	stream lruleak.StreamSpec

@@ -26,6 +26,16 @@ type telemetry struct {
 	running     *metrics.Gauge
 	httpReqs    *metrics.CounterVec   // service_http_requests_total{route,code}
 	httpLat     *metrics.HistogramVec // service_http_request_seconds{route}
+
+	// Durable result store accounting (all zero when no store is
+	// configured): hits are submissions answered from a prior process
+	// lifetime's persisted report, with zero engine cells executed.
+	storeHits       *metrics.Counter
+	storeMisses     *metrics.Counter
+	storePersists   *metrics.Counter
+	storePutRetries *metrics.Counter
+	storePutFails   *metrics.Counter
+	storeDegraded   *metrics.Gauge
 }
 
 func newTelemetry() *telemetry {
@@ -47,6 +57,18 @@ func newTelemetry() *telemetry {
 			"HTTP requests by route pattern and status code", "route", "code"),
 		httpLat: reg.HistogramVec("service_http_request_seconds",
 			"HTTP request latency by route pattern", nil, "route"),
+		storeHits: reg.Counter("service_store_hits_total",
+			"submissions served from the durable result store without executing a single engine cell"),
+		storeMisses: reg.Counter("service_store_misses_total",
+			"submissions whose content key had no usable persisted report"),
+		storePersists: reg.Counter("service_store_persists_total",
+			"completed reports durably written to the result store"),
+		storePutRetries: reg.Counter("service_store_put_retries_total",
+			"persist attempts retried after a transient store failure"),
+		storePutFails: reg.Counter("service_store_put_failures_total",
+			"store Put attempts that returned an error"),
+		storeDegraded: reg.Gauge("service_store_degraded",
+			"1 when persistent store failure flipped the server to memory-only mode"),
 	}
 }
 
@@ -82,6 +104,48 @@ func (t *telemetry) jobFinished(from, to Status) {
 	case StatusRunning:
 		t.running.Dec()
 	}
+}
+
+// jobRestored accounts a job born done from a persisted report: it
+// counts as a done job (the CI scrape's liveness signal) and a store
+// hit, but never moves the queue/running gauges — it was never queued.
+func (t *telemetry) jobRestored() {
+	if t == nil {
+		return
+	}
+	t.jobs.With(string(StatusDone)).Inc()
+	t.storeHits.Inc()
+}
+
+func (t *telemetry) storeMiss() {
+	if t == nil {
+		return
+	}
+	t.storeMisses.Inc()
+}
+
+func (t *telemetry) storePersist() {
+	if t == nil {
+		return
+	}
+	t.storePersists.Inc()
+}
+
+func (t *telemetry) storePutFailure(retrying bool) {
+	if t == nil {
+		return
+	}
+	t.storePutFails.Inc()
+	if retrying {
+		t.storePutRetries.Inc()
+	}
+}
+
+func (t *telemetry) storeDegrade() {
+	if t == nil {
+		return
+	}
+	t.storeDegraded.Set(1)
 }
 
 func (t *telemetry) dedup(hit bool) {

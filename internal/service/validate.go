@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/replacement"
@@ -37,6 +38,11 @@ func (e *errs) add(field, format string, args ...any) {
 func compile(sp Spec) (*compiledSpec, []FieldError) {
 	var e errs
 	c := &compiledSpec{kind: sp.Kind, seed: sp.Seed}
+	if sp.DeadlineMS < 0 {
+		e.add("deadline_ms", "must be >= 0 (0 = no per-job deadline)")
+	} else {
+		c.deadline = time.Duration(sp.DeadlineMS) * time.Millisecond
+	}
 
 	switch sp.Kind {
 	case KindAttack:

@@ -1,0 +1,290 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CorruptDir is the subdirectory (of the store directory) that
+// quarantined entries are moved into: recovery and read-time
+// verification never delete evidence, they move it out of the way.
+const CorruptDir = "corrupt"
+
+// DiskOptions tunes OpenDisk.
+type DiskOptions struct {
+	// FS is the filesystem seam; nil selects the real OS filesystem.
+	// Tests wrap it in a FaultFS.
+	FS FS
+	// Logf, if set, receives recovery and quarantine notices (the
+	// daemon passes its logger; nil is silent).
+	Logf func(format string, args ...any)
+}
+
+// ScanStats summarizes the recovery scan an OpenDisk performed.
+type ScanStats struct {
+	// Loaded counts entries that verified and were indexed.
+	Loaded int
+	// Quarantined counts corrupt or truncated entries moved to corrupt/.
+	Quarantined int
+	// TempsRemoved counts leftover temp files (writes that never
+	// committed — the signature of a crash mid-Put) that were deleted.
+	TempsRemoved int
+}
+
+// Disk is the crash-safe Store: one file per entry under dir, written
+// via temp-file + fsync + rename + directory fsync so a crash at any
+// instruction leaves either the old entry, the new entry, or a temp
+// file the next recovery scan deletes — never a half-written entry
+// under a committed name. Bitrot that defeats the filesystem is still
+// caught: every read re-verifies the header and CRC, and a failing
+// entry is quarantined rather than served.
+type Disk struct {
+	dir  string
+	fs   FS
+	logf func(string, ...any)
+	scan ScanStats
+
+	mu     sync.RWMutex
+	index  map[string]struct{}
+	closed bool
+
+	// writeMu serializes Put bodies so two Puts of one key never race
+	// on the shared temp name.
+	writeMu sync.Mutex
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir and
+// runs the recovery scan. The scan never fails the open: damaged
+// entries are quarantined and counted, not fatal. The only open errors
+// are the directory being uncreatable or unlistable.
+func OpenDisk(dir string, opt DiskOptions) (*Disk, error) {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = OS{}
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	d := &Disk{dir: dir, fs: fsys, logf: logf, index: map[string]struct{}{}}
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Scan reports what the opening recovery scan found.
+func (d *Disk) Scan() ScanStats { return d.scan }
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// recover is the startup scan: index every entry that verifies,
+// delete leftover temp files, quarantine everything else that claims
+// to be an entry. Good entries always load regardless of how many bad
+// siblings surround them.
+func (d *Disk) recover() error {
+	names, err := d.fs.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", d.dir, err)
+	}
+	for _, name := range names {
+		switch {
+		case strings.HasSuffix(name, tempSuffix):
+			// A temp file is a write that never committed; its rename
+			// never happened, so nothing references it.
+			if err := d.fs.Remove(filepath.Join(d.dir, name)); err == nil {
+				d.scan.TempsRemoved++
+			} else {
+				d.logf("store: recovery: remove %s: %v", name, err)
+			}
+		case strings.HasSuffix(name, entrySuffix):
+			raw, err := d.fs.ReadFile(filepath.Join(d.dir, name))
+			if err != nil {
+				d.logf("store: recovery: read %s: %v", name, err)
+				continue
+			}
+			key, _, derr := decodeEntry(raw)
+			if derr == nil && entryFile(key) != name {
+				derr = fmt.Errorf("entry holds key %q, which belongs in %s", key, entryFile(key))
+			}
+			if derr != nil {
+				d.quarantine(name, derr)
+				continue
+			}
+			d.index[key] = struct{}{}
+			d.scan.Loaded++
+		}
+	}
+	return nil
+}
+
+// quarantine moves a failed entry file into corrupt/, preserving it
+// for post-mortem. Quarantine is best-effort: if even the move fails,
+// the file is left behind and only logged — recovery and reads still
+// proceed without it.
+func (d *Disk) quarantine(name string, reason error) {
+	d.logf("store: quarantining %s: %v", name, reason)
+	dst := filepath.Join(d.dir, CorruptDir)
+	if err := d.fs.MkdirAll(dst); err != nil {
+		d.logf("store: quarantine mkdir: %v", err)
+		return
+	}
+	if err := d.fs.Rename(filepath.Join(d.dir, name), filepath.Join(dst, name)); err != nil {
+		d.logf("store: quarantine move %s: %v", name, err)
+		return
+	}
+	d.scan.Quarantined++
+}
+
+// Get reads and fully re-verifies the entry under key. Verification
+// failure quarantines the file and returns ErrCorrupt; the key is
+// dropped from the index so a retry sees ErrNotFound.
+func (d *Disk) Get(key string) ([]byte, error) {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	_, ok := d.index[key]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	name := entryFile(key)
+	raw, err := d.fs.ReadFile(filepath.Join(d.dir, name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			d.drop(key)
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: read %s: %w", name, err)
+	}
+	k, payload, derr := decodeEntry(raw)
+	if derr == nil && k != key {
+		derr = fmt.Errorf("entry holds key %q, asked for %q", k, key)
+	}
+	if derr != nil {
+		d.mu.Lock()
+		delete(d.index, key)
+		d.quarantine(name, derr)
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, name, derr)
+	}
+	return payload, nil
+}
+
+func (d *Disk) drop(key string) {
+	d.mu.Lock()
+	delete(d.index, key)
+	d.mu.Unlock()
+}
+
+// Put commits (key, payload) with the full crash-safe sequence: write
+// a temp file, fsync it, close it, rename it over the committed name,
+// fsync the directory. Any error aborts the Put, best-effort removes
+// the temp file, and leaves the previous entry (if any) intact — a
+// failed Put never damages what was already durable.
+func (d *Disk) Put(key string, payload []byte) error {
+	buf, err := encodeEntry(key, payload)
+	if err != nil {
+		return err
+	}
+	d.mu.RLock()
+	closed := d.closed
+	d.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	name := entryFile(key)
+	tmp := filepath.Join(d.dir, name+tempSuffix)
+	final := filepath.Join(d.dir, name)
+
+	f, err := d.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: create temp: %w", err)
+	}
+	cleanup := func(step string, err error) error {
+		if rerr := d.fs.Remove(tmp); rerr != nil {
+			d.logf("store: remove temp after failed put: %v", rerr)
+		}
+		return fmt.Errorf("store: %s: %w", step, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return cleanup("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return cleanup("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup("close", err)
+	}
+	if err := d.fs.Rename(tmp, final); err != nil {
+		return cleanup("rename", err)
+	}
+	// The rename is visible but not yet durable; sync the directory.
+	// On failure the entry may or may not survive a crash, so the Put
+	// reports failure — a retry rewrites the entry, which is idempotent.
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+
+	d.mu.Lock()
+	d.index[key] = struct{}{}
+	d.mu.Unlock()
+	return nil
+}
+
+// Delete removes the entry, if present.
+func (d *Disk) Delete(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	delete(d.index, key)
+	if err := d.fs.Remove(filepath.Join(d.dir, entryFile(key))); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	return nil
+}
+
+// Keys snapshots the indexed keys, sorted.
+func (d *Disk) Keys() ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	out := make([]string, 0, len(d.index))
+	for k := range d.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Close marks the store closed. Every committed Put is already
+// durable, so there is nothing to flush.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.closed = true
+	return nil
+}

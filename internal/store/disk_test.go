@@ -1,0 +1,294 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openDisk(t *testing.T, dir string) *Disk {
+	t.Helper()
+	d, err := OpenDisk(dir, DiskOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	return d
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d := openDisk(t, t.TempDir())
+	key := "deadbeef"
+	payload := []byte("report body\nwith lines\n")
+	if _, err := d.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get before Put: %v, want ErrNotFound", err)
+	}
+	if err := d.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := d.Get(key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get: %q, %v", got, err)
+	}
+
+	// Overwrite replaces the payload atomically.
+	if err := d.Put(key, []byte("v2")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if got, _ := d.Get(key); string(got) != "v2" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+
+	// Keys is sorted; Delete removes.
+	d.Put("aaa", []byte("x"))
+	keys, err := d.Keys()
+	if err != nil || len(keys) != 2 || keys[0] != "aaa" || keys[1] != key {
+		t.Fatalf("Keys: %v, %v", keys, err)
+	}
+	if err := d.Delete(key); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := d.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: %v", err)
+	}
+	if err := d.Delete("never-existed"); err != nil {
+		t.Fatalf("Delete of missing key: %v", err)
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := d.Get("aaa"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	if err := d.Put("aaa", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v", err)
+	}
+}
+
+func TestDiskReopenLoadsEntries(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir)
+	want := map[string]string{}
+	for i := 0; i < 8; i++ {
+		k, v := fmt.Sprintf("key-%d", i), fmt.Sprintf("payload %d", i)
+		want[k] = v
+		if err := d.Put(k, []byte(v)); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+	}
+	d.Close()
+
+	r := openDisk(t, dir)
+	if s := r.Scan(); s.Loaded != 8 || s.Quarantined != 0 || s.TempsRemoved != 0 {
+		t.Fatalf("scan after clean shutdown: %+v", s)
+	}
+	for k, v := range want {
+		got, err := r.Get(k)
+		if err != nil || string(got) != v {
+			t.Fatalf("reopened Get %s: %q, %v", k, got, err)
+		}
+	}
+}
+
+// corruptEntryOnDisk flips one payload byte of key's committed file.
+func corruptEntryOnDisk(t *testing.T, dir, key string) string {
+	t.Helper()
+	name := entryFile(key)
+	path := filepath.Join(dir, name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+// The recovery scan: good entries load, torn/corrupt/alien entries
+// are quarantined into corrupt/, temp litter is swept — and none of
+// it blocks the open.
+func TestRecoveryScanQuarantinesAndSweeps(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir)
+	for _, k := range []string{"good-1", "good-2", "bitrot", "torn"} {
+		if err := d.Put(k, []byte("payload of "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+
+	// Sabotage the directory the way crashes and bitrot would:
+	// a flipped byte, a truncated entry (torn write that somehow got a
+	// committed name), a file that was never an entry, a mis-filed
+	// entry under the wrong name, and temp litter from a killed Put.
+	corrupt1 := corruptEntryOnDisk(t, dir, "bitrot")
+	tornName := entryFile("torn")
+	raw, _ := os.ReadFile(filepath.Join(dir, tornName))
+	os.WriteFile(filepath.Join(dir, tornName), raw[:len(raw)/2], 0o644)
+	os.WriteFile(filepath.Join(dir, "zzzz"+entrySuffix), []byte("not an entry at all"), 0o644)
+	goodRaw, _ := encodeEntry("some-other-key", []byte("x"))
+	misfiled := "0000000000000000000000000000000000000000000000000000000000000000" + entrySuffix
+	os.WriteFile(filepath.Join(dir, misfiled), goodRaw, 0o644)
+	os.WriteFile(filepath.Join(dir, entryFile("half-written")+tempSuffix), []byte("partial"), 0o644)
+
+	r := openDisk(t, dir)
+	s := r.Scan()
+	if s.Loaded != 2 || s.Quarantined != 4 || s.TempsRemoved != 1 {
+		t.Fatalf("scan stats %+v, want 2 loaded / 4 quarantined / 1 temp removed", s)
+	}
+	for _, k := range []string{"good-1", "good-2"} {
+		if got, err := r.Get(k); err != nil || string(got) != "payload of "+k {
+			t.Fatalf("good entry %s lost to recovery: %q, %v", k, got, err)
+		}
+	}
+	for _, k := range []string{"bitrot", "torn"} {
+		if _, err := r.Get(k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("damaged entry %s: %v, want ErrNotFound", k, err)
+		}
+	}
+	// The evidence is preserved, not deleted.
+	for _, name := range []string{corrupt1, tornName, misfiled} {
+		if _, err := os.Stat(filepath.Join(dir, CorruptDir, name)); err != nil {
+			t.Errorf("quarantined file %s missing from %s/: %v", name, CorruptDir, err)
+		}
+	}
+	// And the temp litter is gone.
+	names, _ := os.ReadDir(dir)
+	for _, e := range names {
+		if strings.HasSuffix(e.Name(), tempSuffix) {
+			t.Errorf("temp file %s survived recovery", e.Name())
+		}
+	}
+}
+
+// Read-time verification: corruption that lands after the recovery
+// scan is caught by Get, quarantined, and reported once as ErrCorrupt;
+// the retry sees a plain miss.
+func TestGetQuarantinesLateCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir)
+	if err := d.Put("rot", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	name := corruptEntryOnDisk(t, dir, "rot")
+	if _, err := d.Get("rot"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of rotten entry: %v, want ErrCorrupt", err)
+	}
+	if _, err := d.Get("rot"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second Get: %v, want ErrNotFound", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, CorruptDir, name)); err != nil {
+		t.Errorf("rotten entry not quarantined: %v", err)
+	}
+}
+
+func TestEntryFormatRejections(t *testing.T) {
+	good, err := encodeEntry("k", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty", nil},
+		{"short header", good[:headerSize-1]},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
+		{"future version", mutate(func(b []byte) []byte { b[5] = 99; return b })},
+		{"truncated payload", good[:len(good)-3]},
+		{"trailing garbage", append(append([]byte(nil), good...), 0)},
+		{"flipped payload byte", mutate(func(b []byte) []byte { b[len(b)-1] ^= 1; return b })},
+		{"flipped key byte", mutate(func(b []byte) []byte { b[headerSize] ^= 1; return b })},
+	}
+	for _, tc := range cases {
+		if _, _, err := decodeEntry(tc.raw); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+	if k, p, err := decodeEntry(good); err != nil || k != "k" || string(p) != "payload" {
+		t.Fatalf("good entry rejected: %q %q %v", k, p, err)
+	}
+	if _, err := encodeEntry("", nil); err == nil {
+		t.Error("empty key encoded")
+	}
+	if _, err := encodeEntry(strings.Repeat("k", maxKeyLen+1), nil); err == nil {
+		t.Error("oversized key encoded")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty: %v", err)
+	}
+	if err := m.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get: %q, %v", got, err)
+	}
+	got[0] = 'X' // must not alias the stored copy
+	if again, _ := m.Get("k"); string(again) != "v" {
+		t.Error("Get aliases the stored payload")
+	}
+	m.Put("a", nil)
+	if keys, _ := m.Keys(); len(keys) != 2 || keys[0] != "a" || keys[1] != "k" {
+		t.Fatalf("Keys: %v", keys)
+	}
+	m.Delete("k")
+	if _, err := m.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: %v", err)
+	}
+	m.Close()
+	if err := m.Put("x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v", err)
+	}
+}
+
+// Concurrent mixed traffic on one store; run under -race in CI.
+func TestDiskConcurrentAccess(t *testing.T) {
+	d := openDisk(t, t.TempDir())
+	defer d.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 24; i++ {
+				key := fmt.Sprintf("key-%d-%d", g, i%6)
+				switch i % 4 {
+				case 0, 1:
+					if err := d.Put(key, []byte(fmt.Sprintf("g%d i%d", g, i))); err != nil {
+						t.Errorf("Put: %v", err)
+					}
+				case 2:
+					if _, err := d.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+						t.Errorf("Get: %v", err)
+					}
+				case 3:
+					if _, err := d.Keys(); err != nil {
+						t.Errorf("Keys: %v", err)
+					}
+					if i%8 == 7 {
+						if err := d.Delete(key); err != nil {
+							t.Errorf("Delete: %v", err)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,27 @@
+// Package store is the durable half of the job server's
+// content-addressed result cache: a crash-safe key → payload map whose
+// keys are the service's content addresses (hex SHA-256 of the
+// normalized spec and seed), so a persisted report can be served after
+// a restart — or byte-diffed against a recomputed one — without
+// re-running a single engine cell.
+//
+// Two implementations share the Store interface: Mem, a mutex-guarded
+// map for tests and memory-only fallback, and Disk, one file per entry
+// written atomically (temp file, write, fsync, rename, directory
+// fsync) with a self-describing header — magic, format version, the
+// full key, and a CRC-32C over key and payload — so every read can
+// prove the entry is the one that was written. Opening a Disk store
+// runs a recovery scan: entries that verify are indexed, leftover temp
+// files from a crashed write are deleted, and corrupt or truncated
+// entries are quarantined into corrupt/ for post-mortem instead of
+// being served or deleted. Recovery never fails the open — a damaged
+// directory degrades to fewer entries, not a refusal to boot.
+//
+// All of Disk's filesystem traffic goes through the FS seam. OS is the
+// real implementation; FaultFS wraps any FS with injectable faults —
+// fail the Nth write (ENOSPC by default), tear a write short, fail
+// renames, syncs, creates or removes — which is what the chaos tests
+// drive kill-mid-write, torn-write and backoff-then-degrade scenarios
+// with, all under -race. DESIGN.md §13 documents the entry format, the
+// recovery state machine and the service's degradation ladder.
+package store

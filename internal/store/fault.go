@@ -1,0 +1,179 @@
+package store
+
+import (
+	"sync"
+	"syscall"
+)
+
+// ErrNoSpace is the default injected write error: the disk-full errno
+// a real filesystem returns when a Put runs out of space.
+var ErrNoSpace error = syscall.ENOSPC
+
+// FaultFS wraps an FS with injectable faults, the harness behind the
+// chaos tests: fail the Nth write call (ENOSPC by default), tear a
+// write short (half its bytes land, then an error — the torn-write /
+// kill-mid-write shape), and fail renames, syncs, creates or removes
+// wholesale. Write calls are counted FS-wide in arrival order, so "the
+// Nth write" is deterministic for a single-writer sequence. All knobs
+// are safe to arm and disarm concurrently with use.
+type FaultFS struct {
+	Inner FS
+
+	mu         sync.Mutex
+	writes     int   // write calls seen so far (1-based indexing)
+	failFrom   int   // first write index to fail; 0 = disarmed
+	failCount  int   // how many consecutive writes fail; < 0 = forever
+	writeErr   error // error injected on failed writes
+	tornWrite  int   // write index to tear; 0 = disarmed
+	renameErr  error
+	syncErr    error
+	syncDirErr error
+	createErr  error
+	removeErr  error
+}
+
+// NewFaultFS wraps inner (nil selects the real OS filesystem) with all
+// faults disarmed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &FaultFS{Inner: inner}
+}
+
+// FailWrites arms write faults: write calls from (1-based, counted
+// across the FS since construction) through from+count-1 return err
+// without writing anything. count < 0 fails every write from 'from'
+// on; from <= 0 disarms. A nil err injects ErrNoSpace.
+func (f *FaultFS) FailWrites(from, count int, err error) {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failFrom, f.failCount, f.writeErr = from, count, err
+}
+
+// TearWrite arms a torn write: write call n writes only the first half
+// of its bytes to the underlying file, then returns ErrNoSpace — the
+// on-disk shape of a crash or disk-full mid-write. n <= 0 disarms.
+func (f *FaultFS) TearWrite(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornWrite = n
+}
+
+// FailRenames makes every Rename fail with err until disarmed (nil).
+func (f *FaultFS) FailRenames(err error) { f.mu.Lock(); f.renameErr = err; f.mu.Unlock() }
+
+// FailSyncs makes every file Sync fail with err until disarmed (nil).
+func (f *FaultFS) FailSyncs(err error) { f.mu.Lock(); f.syncErr = err; f.mu.Unlock() }
+
+// FailDirSyncs makes every SyncDir fail with err until disarmed (nil).
+func (f *FaultFS) FailDirSyncs(err error) { f.mu.Lock(); f.syncDirErr = err; f.mu.Unlock() }
+
+// FailCreates makes every Create fail with err until disarmed (nil).
+func (f *FaultFS) FailCreates(err error) { f.mu.Lock(); f.createErr = err; f.mu.Unlock() }
+
+// FailRemoves makes every Remove fail with err until disarmed (nil).
+// Combined with TearWrite this models a hard kill: the torn temp file
+// cannot even be cleaned up, and must be swept by the next recovery
+// scan instead.
+func (f *FaultFS) FailRemoves(err error) { f.mu.Lock(); f.removeErr = err; f.mu.Unlock() }
+
+// Writes reports how many write calls the FS has seen.
+func (f *FaultFS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+func (f *FaultFS) MkdirAll(dir string) error { return f.Inner.MkdirAll(dir) }
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.Inner.ReadFile(path) }
+
+func (f *FaultFS) Create(path string) (File, error) {
+	f.mu.Lock()
+	err := f.createErr
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	inner, ferr := f.Inner.Create(path)
+	if ferr != nil {
+		return nil, ferr
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	err := f.renameErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	f.mu.Lock()
+	err := f.removeErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.Inner.Remove(path)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	err := f.syncDirErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// faultFile applies the FS's write and sync faults to one open file.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	w.fs.writes++
+	n := w.fs.writes
+	fail := w.fs.failFrom > 0 && n >= w.fs.failFrom &&
+		(w.fs.failCount < 0 || n < w.fs.failFrom+w.fs.failCount)
+	torn := w.fs.tornWrite == n
+	err := w.fs.writeErr
+	w.fs.mu.Unlock()
+	if torn {
+		written, _ := w.inner.Write(p[:len(p)/2])
+		return written, ErrNoSpace
+	}
+	if fail {
+		if err == nil {
+			err = ErrNoSpace
+		}
+		return 0, err
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	w.fs.mu.Lock()
+	err := w.fs.syncErr
+	w.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error { return w.inner.Close() }

@@ -1,0 +1,248 @@
+package store
+
+// The chaos suite: every fault the FaultFS can inject, driven through
+// real Put/Get/recovery sequences. The invariants under test are the
+// ones the daemon leans on: a failed Put never damages a durable
+// entry, never leaves litter a recovery scan can't sweep, and always
+// surfaces as an error the service can retry or degrade on.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openFaultDisk(t *testing.T, dir string) (*Disk, *FaultFS) {
+	t.Helper()
+	ffs := NewFaultFS(nil)
+	d, err := OpenDisk(dir, DiskOptions{FS: ffs, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	return d, ffs
+}
+
+// dirNames lists the store directory's top-level file names.
+func dirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+func TestPutENOSPCFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	d, ffs := openFaultDisk(t, dir)
+	if err := d.Put("survivor", []byte("old payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailWrites(ffs.Writes()+1, -1, nil) // every write from now on: ENOSPC
+	err := d.Put("survivor", []byte("new payload"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Put on full disk: %v, want ENOSPC", err)
+	}
+	if err := d.Put("fresh", []byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("fresh Put on full disk: %v", err)
+	}
+
+	// The durable entry is untouched, the failed keys are absent, and
+	// no temp litter remains.
+	if got, err := d.Get("survivor"); err != nil || string(got) != "old payload" {
+		t.Fatalf("survivor after failed overwrite: %q, %v", got, err)
+	}
+	if _, err := d.Get("fresh"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed Put left key visible: %v", err)
+	}
+	for _, name := range dirNames(t, dir) {
+		if strings.HasSuffix(name, tempSuffix) {
+			t.Errorf("temp litter after failed Put: %s", name)
+		}
+	}
+
+	// The disk recovering (fault disarmed) makes Put work again — the
+	// transient-error half of the service's retry story.
+	ffs.FailWrites(0, 0, nil)
+	if err := d.Put("fresh", []byte("x")); err != nil {
+		t.Fatalf("Put after fault cleared: %v", err)
+	}
+	if got, _ := d.Get("fresh"); string(got) != "x" {
+		t.Fatalf("fresh after recovery: %q", got)
+	}
+}
+
+// A single failing write followed by success is the transient-fault
+// shape the service retries through.
+func TestFailNthWriteIsTransient(t *testing.T) {
+	d, ffs := openFaultDisk(t, t.TempDir())
+	ffs.FailWrites(1, 1, nil)
+	if err := d.Put("k", []byte("v")); err == nil {
+		t.Fatal("first Put should have failed")
+	}
+	if err := d.Put("k", []byte("v")); err != nil {
+		t.Fatalf("second Put (fault expired): %v", err)
+	}
+	if got, err := d.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("Get after retry: %q, %v", got, err)
+	}
+}
+
+// Kill-mid-write: a torn write whose cleanup also fails (the process
+// is gone) leaves a half-written temp file. The next open must sweep
+// it, and every previously committed entry must still verify.
+func TestKillMidWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, ffs := openFaultDisk(t, dir)
+	if err := d.Put("committed", []byte("durable before the crash")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.TearWrite(ffs.Writes() + 1)
+	ffs.FailRemoves(fmt.Errorf("process is dead; nobody runs cleanup"))
+	if err := d.Put("mid-crash", []byte("never lands")); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	// The torn temp file really is on disk, exactly as a crash leaves it.
+	tmp := entryFile("mid-crash") + tempSuffix
+	if _, err := os.Stat(filepath.Join(dir, tmp)); err != nil {
+		t.Fatalf("expected torn temp file %s: %v", tmp, err)
+	}
+
+	// "Reboot": a fresh store over the same directory.
+	r := openDisk(t, dir)
+	s := r.Scan()
+	if s.Loaded != 1 || s.TempsRemoved != 1 {
+		t.Fatalf("recovery scan %+v, want 1 loaded / 1 temp removed", s)
+	}
+	if got, err := r.Get("committed"); err != nil || string(got) != "durable before the crash" {
+		t.Fatalf("committed entry after crash: %q, %v", got, err)
+	}
+	if _, err := r.Get("mid-crash"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("half-written key resurrected: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmp)); !os.IsNotExist(err) {
+		t.Errorf("torn temp file survived recovery: %v", err)
+	}
+}
+
+func TestRenameFailureLeavesOldEntry(t *testing.T) {
+	dir := t.TempDir()
+	d, ffs := openFaultDisk(t, dir)
+	if err := d.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	injected := fmt.Errorf("injected rename failure")
+	ffs.FailRenames(injected)
+	if err := d.Put("k", []byte("v2")); !errors.Is(err, injected) {
+		t.Fatalf("Put with failing rename: %v", err)
+	}
+	if got, err := d.Get("k"); err != nil || string(got) != "v1" {
+		t.Fatalf("old entry after failed rename: %q, %v", got, err)
+	}
+	if err := d.Put("new", []byte("x")); !errors.Is(err, injected) {
+		t.Fatalf("fresh Put with failing rename: %v", err)
+	}
+	if _, err := d.Get("new"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("key visible despite failed rename: %v", err)
+	}
+	for _, name := range dirNames(t, dir) {
+		if strings.HasSuffix(name, tempSuffix) {
+			t.Errorf("temp litter after failed rename: %s", name)
+		}
+	}
+	ffs.FailRenames(nil)
+	if err := d.Put("k", []byte("v2")); err != nil {
+		t.Fatalf("Put after renames recover: %v", err)
+	}
+	if got, _ := d.Get("k"); string(got) != "v2" {
+		t.Fatalf("after recovery: %q", got)
+	}
+}
+
+func TestSyncAndCreateFailures(t *testing.T) {
+	d, ffs := openFaultDisk(t, t.TempDir())
+	injected := fmt.Errorf("injected")
+	ffs.FailSyncs(injected)
+	if err := d.Put("k", []byte("v")); !errors.Is(err, injected) {
+		t.Fatalf("Put with failing fsync: %v", err)
+	}
+	ffs.FailSyncs(nil)
+	ffs.FailCreates(injected)
+	if err := d.Put("k", []byte("v")); !errors.Is(err, injected) {
+		t.Fatalf("Put with failing create: %v", err)
+	}
+	ffs.FailCreates(nil)
+	ffs.FailDirSyncs(injected)
+	if err := d.Put("k", []byte("v")); !errors.Is(err, injected) {
+		t.Fatalf("Put with failing dir sync: %v", err)
+	}
+	ffs.FailDirSyncs(nil)
+	if err := d.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put after faults cleared: %v", err)
+	}
+	// Put is idempotent, so the dir-sync retry converged on a good entry.
+	if got, err := d.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("Get: %q, %v", got, err)
+	}
+}
+
+// Faults arm and disarm while other goroutines hammer the store; the
+// store must stay coherent (run under -race).
+func TestConcurrentFaultsUnderRace(t *testing.T) {
+	d, ffs := openFaultDisk(t, t.TempDir())
+	defer d.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	togglerDone := make(chan struct{})
+	go func() { // fault toggler
+		defer close(togglerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				ffs.FailWrites(ffs.Writes()+2, 1, nil)
+			case 1:
+				ffs.FailRenames(ErrNoSpace)
+			case 2:
+				ffs.FailWrites(0, 0, nil)
+				ffs.FailRenames(nil)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k-%d-%d", g, i%5)
+				if err := d.Put(key, []byte("payload")); err == nil {
+					if got, err := d.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+						t.Errorf("Get after successful Put: %v", err)
+					} else if err == nil && string(got) != "payload" {
+						t.Errorf("Get returned %q", got)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait() // workers finish; then stop the toggler
+	close(stop)
+	<-togglerDone
+}

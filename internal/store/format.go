@@ -1,0 +1,97 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+)
+
+// Entry file format, version 1. Everything is big-endian:
+//
+//	offset  size  field
+//	0       4     magic "LLRS" (lru-leak result store)
+//	4       2     format version (1)
+//	6       2     key length K
+//	8       4     payload length P
+//	12      4     CRC-32C (Castagnoli) over key bytes ++ payload bytes
+//	16      K     key
+//	16+K    P     payload
+//
+// The header carries the full key (not just its hash) so a verified
+// entry proves which logical key it belongs to, independent of its
+// filename; the length fields make truncation detectable before the
+// CRC is even computed, so a torn write is classified as corrupt, not
+// misread as a short payload.
+const (
+	entryMagic    = "LLRS"
+	formatVersion = 1
+	headerSize    = 4 + 2 + 2 + 4 + 4
+	maxKeyLen     = 1<<16 - 1
+)
+
+// entrySuffix names committed entries; tempSuffix names in-flight
+// writes (removed by the recovery scan — a temp file is by definition
+// a write that never committed).
+const (
+	entrySuffix = ".entry"
+	tempSuffix  = ".tmp"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// entryFile maps a key onto its committed filename: hex SHA-256 of the
+// key plus the entry suffix. Hashing keeps arbitrary keys (the Store
+// contract does not require path-safe ones) on the filename charset;
+// the authoritative key lives in the entry header.
+func entryFile(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + entrySuffix
+}
+
+// encodeEntry renders the on-disk bytes for (key, payload).
+func encodeEntry(key string, payload []byte) ([]byte, error) {
+	if key == "" {
+		return nil, fmt.Errorf("store: empty key")
+	}
+	if len(key) > maxKeyLen {
+		return nil, fmt.Errorf("store: key length %d exceeds %d", len(key), maxKeyLen)
+	}
+	buf := make([]byte, headerSize+len(key)+len(payload))
+	copy(buf[0:4], entryMagic)
+	binary.BigEndian.PutUint16(buf[4:6], formatVersion)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(key)))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	copy(buf[headerSize:], key)
+	copy(buf[headerSize+len(key):], payload)
+	binary.BigEndian.PutUint32(buf[12:16], crc32.Checksum(buf[headerSize:], castagnoli))
+	return buf, nil
+}
+
+// decodeEntry parses and fully verifies one entry file's bytes. Any
+// failure — short header, wrong magic, unknown version, truncated or
+// oversized body, CRC mismatch — is a non-nil error; the caller
+// quarantines on error.
+func decodeEntry(raw []byte) (key string, payload []byte, err error) {
+	if len(raw) < headerSize {
+		return "", nil, fmt.Errorf("%d bytes, shorter than the %d-byte header", len(raw), headerSize)
+	}
+	if string(raw[0:4]) != entryMagic {
+		return "", nil, fmt.Errorf("bad magic %q", raw[0:4])
+	}
+	if v := binary.BigEndian.Uint16(raw[4:6]); v != formatVersion {
+		return "", nil, fmt.Errorf("unknown format version %d", v)
+	}
+	keyLen := int(binary.BigEndian.Uint16(raw[6:8]))
+	payLen := int(binary.BigEndian.Uint32(raw[8:12]))
+	if want := headerSize + keyLen + payLen; len(raw) != want {
+		return "", nil, fmt.Errorf("%d bytes, header declares %d (torn or padded write)", len(raw), want)
+	}
+	if got, want := crc32.Checksum(raw[headerSize:], castagnoli), binary.BigEndian.Uint32(raw[12:16]); got != want {
+		return "", nil, fmt.Errorf("payload CRC %08x, header declares %08x", got, want)
+	}
+	key = string(raw[headerSize : headerSize+keyLen])
+	payload = append([]byte(nil), raw[headerSize+keyLen:]...)
+	return key, payload, nil
+}

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam every Disk operation goes through. It is
+// deliberately explicit about the steps that matter for crash safety —
+// create, write, sync, close, rename, directory sync are separate
+// calls — so FaultFS can fail or tear each one independently.
+type FS interface {
+	MkdirAll(dir string) error
+	// ReadDir returns the file names (not paths) in dir.
+	ReadDir(dir string) ([]string, error)
+	ReadFile(path string) ([]byte, error)
+	Create(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	// SyncDir fsyncs a directory, making a preceding rename durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable-file half of the seam.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OS) Create(path string) (File, error) { return os.Create(path) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Close errors after a successful fsync carry no information for a
+	// read-only handle.
+	defer d.Close()
+	return d.Sync()
+}

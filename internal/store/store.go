@@ -1,0 +1,116 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Store is a durable (or durable-enough-for-tests) content-addressed
+// payload map. Keys are opaque non-empty strings — the service uses
+// its hex SHA-256 content addresses — and payloads are byte blobs the
+// store never interprets. Implementations are safe for concurrent use.
+type Store interface {
+	// Get returns the payload stored under key. A missing key is
+	// ErrNotFound; a key whose entry failed verification is ErrCorrupt
+	// (and the entry is quarantined, so a retry reports ErrNotFound).
+	Get(key string) ([]byte, error)
+	// Put durably stores payload under key, replacing any previous
+	// entry. When Put returns nil the entry survives a crash.
+	Put(key string, payload []byte) error
+	// Delete removes the entry. Deleting a missing key is a no-op.
+	Delete(key string) error
+	// Keys snapshots the stored keys in sorted order.
+	Keys() ([]string, error)
+	// Close releases the store. Further calls return ErrClosed.
+	Close() error
+}
+
+var (
+	// ErrNotFound reports a key with no stored entry.
+	ErrNotFound = errors.New("store: key not found")
+	// ErrCorrupt reports an entry that failed verification (bad magic,
+	// truncation, key mismatch, CRC failure) and was quarantined.
+	ErrCorrupt = errors.New("store: entry corrupt")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+)
+
+// Mem is the in-memory Store: the test double and the shape the
+// service degrades to when the disk store is unavailable (in that
+// mode the service simply has no store at all, but tests that want
+// store semantics without a disk use Mem).
+type Mem struct {
+	mu     sync.RWMutex
+	m      map[string][]byte
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{m: map[string][]byte{}} }
+
+// Get returns a copy of the stored payload, so callers cannot alias
+// the store's backing memory.
+func (s *Mem) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	p, ok := s.m[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), p...), nil
+}
+
+// Put stores a copy of payload under key.
+func (s *Mem) Put(key string, payload []byte) error {
+	if key == "" {
+		return errors.New("store: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.m[key] = append([]byte(nil), payload...)
+	return nil
+}
+
+// Delete removes the entry, if present.
+func (s *Mem) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	delete(s.m, key)
+	return nil
+}
+
+// Keys snapshots the stored keys, sorted.
+func (s *Mem) Keys() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Close marks the store closed.
+func (s *Mem) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	return nil
+}
