@@ -21,6 +21,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/engine"
 	"repro/internal/hier"
+	"repro/internal/leakage"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/perf"
@@ -1109,5 +1110,38 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 				es["engine_cells_completed_total"], es["engine_cell_wall_seconds.count"], want)
 		}
 		emitBench(b, map[string]float64{"cells": cells})
+	})
+}
+
+// BenchmarkLeakageEnumeration times the reachable-state-space
+// enumerator on the two paths the leakage study exercises: the
+// exhaustive BFS (Tree-PLRU at 16 ways, 32768 states) and the sampling
+// fallback (true LRU at 16 ways, whose 16! closure blows the cap, so
+// that run pays the capped BFS plus the full sampling budget). CI's
+// benchdiff pin holds the exhaustive path well ahead of the sampled
+// one — if BFS ever drifts toward the fallback's cost, the MaxStates
+// cap is mis-set.
+func BenchmarkLeakageEnumeration(b *testing.B) {
+	b.Run("mode=exhaustive", func(b *testing.B) {
+		var states int
+		for i := 0; i < b.N; i++ {
+			sp := leakage.Enumerate(replacement.TreePLRU, 16, leakage.Options{})
+			if !sp.Exhaustive {
+				b.Fatal("Tree-PLRU/16 should enumerate exhaustively")
+			}
+			states = len(sp.States)
+		}
+		emitBench(b, map[string]float64{"states": float64(states)})
+	})
+	b.Run("mode=sampled", func(b *testing.B) {
+		var cov float64
+		for i := 0; i < b.N; i++ {
+			sp := leakage.Enumerate(replacement.TrueLRU, 16, leakage.Options{})
+			if sp.Exhaustive {
+				b.Fatal("true LRU/16 should fall back to sampling")
+			}
+			cov = sp.Coverage
+		}
+		emitBench(b, map[string]float64{"coverage": cov})
 	})
 }

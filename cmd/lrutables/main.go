@@ -9,7 +9,13 @@
 //
 //	lrutables -table 1 [-trials 10000]
 //	lrutables -table 2|4|5|6|7 [-seed N]
+//	lrutables -leakage
 //	lrutables -all
+//
+// -leakage renders the automated policy leakage study instead of a
+// paper table: the reachable replacement-state spaces per policy and
+// the ranked bits-per-observation leaderboard across the defense
+// matrix (internal/leakage).
 //
 // All forms accept -workers N (0 = all cores) and -progress.
 package main
@@ -26,6 +32,7 @@ func main() {
 	var (
 		table    = flag.Int("table", 1, "table number to regenerate (1,2,4,5,6,7)")
 		all      = flag.Bool("all", false, "regenerate every table")
+		leak     = flag.Bool("leakage", false, "render the policy leakage leaderboard instead of a table")
 		trials   = flag.Int("trials", 10000, "trials per Table I cell")
 		seed     = flag.Uint64("seed", 2020, "experiment seed")
 		secret   = flag.String("secret", "MAGIC", "secret string for Table VII")
@@ -57,6 +64,10 @@ func main() {
 		return "", false
 	}
 
+	if *leak {
+		fmt.Print(lruleak.RenderLeakage(lruleak.LeakageSweep(lruleak.LeakageSpec{}, *seed, opt)))
+		return
+	}
 	if *all {
 		for _, n := range []int{1, 2, 4, 5, 6, 7} {
 			out, _ := render(n)

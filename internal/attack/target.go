@@ -110,37 +110,61 @@ type Target interface {
 	ResetStats()
 }
 
-// randomFillWindow is the ±line half-width of the random-fill
+// RandomFillWindow is the canonical ±line half-width of the random-fill
 // neighbourhood, matching secure.RandomFillLeakExperiment.
-const randomFillWindow = 16
+const RandomFillWindow = 16
+
+// TargetConfig parameterizes NewTargetCfg beyond the canonical
+// four-argument form: today only the random-fill window, the knob the
+// leakage leaderboard sweeps.
+type TargetConfig struct {
+	Defense Defense
+	Profile uarch.Profile
+	Policy  replacement.Kind
+	// Seed feeds only the defenses that need randomness (random fill).
+	Seed uint64
+	// FillWindow is the random-fill neighbourhood half-width in lines;
+	// 0 selects the canonical RandomFillWindow. Ignored by the other
+	// defenses.
+	FillWindow uint64
+}
 
 // NewTarget builds the cache under attack: geometry from the profile,
-// the given L1 replacement policy, and the chosen defense. The seed
-// feeds only the defenses that need randomness (random fill).
+// the given L1 replacement policy, and the chosen defense.
 func NewTarget(d Defense, prof uarch.Profile, pol replacement.Kind, seed uint64) Target {
-	switch d {
+	return NewTargetCfg(TargetConfig{Defense: d, Profile: prof, Policy: pol, Seed: seed})
+}
+
+// NewTargetCfg is NewTarget with the extended configuration surface.
+func NewTargetCfg(cfg TargetConfig) Target {
+	prof := cfg.Profile
+	switch cfg.Defense {
 	case DefenseNone, DefensePLCache, DefensePLCacheFixed:
 		h := hier.New(hier.Config{
 			Profile:  prof,
-			L1Policy: pol, L2Policy: replacement.TreePLRU,
-			RNG:                    rng.New(seed),
-			PartitionLockedL1:      d != DefenseNone,
-			LockReplacementStateL1: d == DefensePLCacheFixed,
+			L1Policy: cfg.Policy, L2Policy: replacement.TreePLRU,
+			RNG:                    rng.New(cfg.Seed),
+			PartitionLockedL1:      cfg.Defense != DefenseNone,
+			LockReplacementStateL1: cfg.Defense == DefensePLCacheFixed,
 		})
-		return &hierTarget{h: h, lock: d != DefenseNone, ways: prof.L1Ways}
+		return &hierTarget{h: h, lock: cfg.Defense != DefenseNone, ways: prof.L1Ways}
 	case DefenseRandomFill:
+		window := cfg.FillWindow
+		if window == 0 {
+			window = RandomFillWindow
+		}
 		return &rfTarget{
-			rf:   secure.NewRandomFillWithPolicy(prof.L1Sets, prof.L1Ways, randomFillWindow, pol, rng.New(seed)),
+			rf:   secure.NewRandomFillWithPolicy(prof.L1Sets, prof.L1Ways, window, cfg.Policy, rng.New(cfg.Seed)),
 			ways: prof.L1Ways,
 		}
 	case DefenseDAWG:
 		const domains = 2
 		return &dawgTarget{
-			d:       secure.NewDAWGWithPolicy(prof.L1Sets, prof.L1Ways, domains, pol),
+			d:       secure.NewDAWGWithPolicy(prof.L1Sets, prof.L1Ways, domains, cfg.Policy),
 			waysPer: prof.L1Ways / domains,
 		}
 	default:
-		panic(fmt.Sprintf("attack: unknown defense %d", int(d)))
+		panic(fmt.Sprintf("attack: unknown defense %d", int(cfg.Defense)))
 	}
 }
 

@@ -1,0 +1,33 @@
+// Package leakage computes information-theoretic leakage scores for the
+// replacement policies and secure-cache designs the rest of the repo
+// attacks one experiment at a time — the Cañones–Köpf–Reineke program
+// ("Security Analysis of Cache Replacement Policies", "On the
+// Incomparability of Cache Algorithms in Terms of Timing Leakage")
+// applied to this simulator.
+//
+// It has two halves:
+//
+//   - A reachable-state-space enumerator (Enumerate): breadth-first
+//     search over replacement.SetArray packed states under the access
+//     alphabet of one set — hit on way i, or miss-insert into the
+//     policy's victim. The reachable count bounds any probing
+//     adversary's per-observation leakage at log2(|states|). The search
+//     is exhaustive for the word-backed families at common
+//     associativities and falls back to seeded sampling with explicit
+//     coverage accounting where the space is out of reach (true LRU
+//     beyond 8 ways: 16! ≈ 2·10^13 permutations).
+//
+//   - A probing-strategy evaluator (Eval): the empirical mutual
+//     information, in bits per observation, between a victim's
+//     secret-dependent access and the observation a canonical
+//     prime→pressure→probe attacker extracts from the SIMULATED cache —
+//     the machines come from the same attack.Target constructors
+//     (internal/secure designs included) that the template attack runs
+//     against, so the analyzed machine is the attacked machine, not a
+//     side model.
+//
+// The leaderboard the two halves feed (sweep.go LeakageSweep, cmd
+// lrutables -leakage) ranks policy × associativity × defense by bits
+// per observation and is cross-checked against the empirical detection
+// ROC AUCs pinned in testdata/roc.golden.
+package leakage

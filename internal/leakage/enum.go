@@ -1,0 +1,238 @@
+package leakage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/replacement"
+	"repro/internal/rng"
+)
+
+// MissSymbol is the access-alphabet symbol for a miss-insert: the
+// policy's current victim way is filled. Symbols 0..ways-1 are hits on
+// that way. Apply maps a symbol onto a SetArray.
+const MissSymbol = -1
+
+// Apply drives one access-alphabet symbol into set 0 of a single-set
+// SetArray: sym in [0, ways) touches that way (a hit), any other value
+// is a miss-insert (Victim then Fill). This is the exact transition
+// function the cache's hit and miss paths perform on replacement state,
+// so closure under Apply is closure under any access sequence.
+func Apply(a *replacement.SetArray, sym int) {
+	if sym >= 0 && sym < a.Ways() {
+		a.Touch(0, sym)
+		return
+	}
+	a.Fill(0, a.Victim(0))
+}
+
+// Options tunes Enumerate. The zero value is the documented default.
+type Options struct {
+	// MaxStates caps the exhaustive search; when the reachable set
+	// outgrows it, Enumerate falls back to seeded sampling. Default
+	// 1 << 18 — far above every word-backed family at the paper's
+	// associativities (Tree-PLRU/8 has 128 states, true LRU/8 has
+	// 40320), far below true LRU at 16 ways (16! ≈ 2·10^13).
+	MaxStates int
+	// SampleSequences and SampleLength size the sampling fallback:
+	// that many independent random access sequences of that many
+	// symbols each, all states along the way recorded. Defaults 2048
+	// and 256.
+	SampleSequences, SampleLength int
+	// SampleSeed seeds the sampling fallback's generator (default 1).
+	SampleSeed uint64
+	// OrderSeed, when nonzero, shuffles the BFS frontier and alphabet
+	// order. The returned canonical state set must be identical for
+	// every OrderSeed — the order-independence property the fuzz
+	// target pins.
+	OrderSeed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates == 0 {
+		o.MaxStates = 1 << 18
+	}
+	if o.SampleSequences == 0 {
+		o.SampleSequences = 2048
+	}
+	if o.SampleLength == 0 {
+		o.SampleLength = 256
+	}
+	if o.SampleSeed == 0 {
+		o.SampleSeed = 1
+	}
+	return o
+}
+
+// StateSpace is the reachable replacement-state set of one cache set
+// under the access alphabet, starting from power-on.
+type StateSpace struct {
+	Kind replacement.Kind
+	Ways int
+
+	// States holds the canonical packed states (replacement.SetArray
+	// PackedState words), sorted ascending.
+	States []uint64
+
+	// Exhaustive reports a completed BFS: States is the full closure.
+	// When false, States is the union of SampledSequences random
+	// walks and Coverage estimates the fraction found.
+	Exhaustive bool
+	// Coverage is |States| / TheoreticalStates (1 for a completed
+	// BFS; NaN when no analytic count is known for the family).
+	Coverage float64
+	// SampledSequences is the number of random access sequences the
+	// sampling fallback drew (0 when exhaustive).
+	SampledSequences int
+}
+
+// Contains reports whether the canonical packed state s is in the
+// enumerated set.
+func (sp *StateSpace) Contains(s uint64) bool {
+	i := sort.Search(len(sp.States), func(i int) bool { return sp.States[i] >= s })
+	return i < len(sp.States) && sp.States[i] == s
+}
+
+// Bound is the state-space leakage ceiling in bits: log2(|States|). No
+// probing strategy can extract more than Bound bits from a single
+// observation of the set's replacement state — for a sampled space this
+// is a lower bound on the true ceiling.
+func (sp *StateSpace) Bound() float64 {
+	if len(sp.States) == 0 {
+		return 0
+	}
+	return math.Log2(float64(len(sp.States)))
+}
+
+// TheoreticalStates returns the analytic reachable-state count for the
+// family, when one is known: ways! for true LRU (every permutation is
+// reachable by touches), 2^(ways-1) node-bit combinations for
+// Tree-PLRU, 2^ways - 1 for Bit-PLRU (every mask except all-set, which
+// the generation rollover clears), and ways round-robin positions for
+// FIFO. ok is false for Random, which keeps no state. The count is a
+// float64 because 16! does not fit the exact integer range callers
+// would want to divide in.
+func TheoreticalStates(kind replacement.Kind, ways int) (n float64, ok bool) {
+	switch kind {
+	case replacement.TrueLRU:
+		n = 1
+		for i := 2; i <= ways; i++ {
+			n *= float64(i)
+		}
+		return n, true
+	case replacement.TreePLRU:
+		return math.Pow(2, float64(ways-1)), true
+	case replacement.BitPLRU:
+		return math.Pow(2, float64(ways)) - 1, true
+	case replacement.FIFO:
+		return float64(ways), true
+	default:
+		return 0, false
+	}
+}
+
+// Enumerate computes the reachable state space of one set of the given
+// policy family and associativity: BFS from the power-on state under
+// the ways+1-symbol access alphabet, falling back to seeded sampling
+// when the closure outgrows opt.MaxStates. It panics for Random (which
+// keeps no replacement state) and for true LRU beyond 16 ways (whose
+// state exceeds the canonical packed word).
+func Enumerate(kind replacement.Kind, ways int, opt Options) StateSpace {
+	opt = opt.withDefaults()
+	a := replacement.NewSetArray(kind, 1, ways, nil)
+	if !a.StatePackable() {
+		panic(fmt.Sprintf("leakage: %v at %d ways has no packable state", kind, ways))
+	}
+	sp := StateSpace{Kind: kind, Ways: ways}
+
+	reset := a.PackedState(0)
+	visited := map[uint64]bool{reset: true}
+	frontier := []uint64{reset}
+	var order *rng.Rand
+	if opt.OrderSeed != 0 {
+		order = rng.New(opt.OrderSeed)
+	}
+	full := false
+	for len(frontier) > 0 && !full {
+		// Pop the next frontier state — from the front canonically, or
+		// anywhere under OrderSeed: BFS closure is order-independent,
+		// and the shuffled pop is how the property is exercised.
+		i := 0
+		if order != nil {
+			i = order.Intn(len(frontier))
+		}
+		s := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		var perm []int
+		if order != nil {
+			perm = order.Perm(ways + 1)
+		}
+		for off := 0; off <= ways; off++ {
+			sym := off
+			if perm != nil {
+				sym = perm[off]
+			}
+			if sym == ways {
+				sym = MissSymbol
+			}
+			a.SetPackedState(0, s)
+			Apply(a, sym)
+			next := a.PackedState(0)
+			if !visited[next] {
+				if len(visited) >= opt.MaxStates {
+					full = true
+					break
+				}
+				visited[next] = true
+				frontier = append(frontier, next)
+			}
+		}
+	}
+
+	theory, hasTheory := TheoreticalStates(kind, ways)
+	if !full {
+		sp.Exhaustive = true
+		sp.Coverage = 1
+		sp.States = sortedKeys(visited)
+		return sp
+	}
+
+	// Sampling fallback: the closure is out of reach, so draw seeded
+	// random access sequences from power-on and record every state on
+	// the way. The result is a certified subset with explicit coverage
+	// accounting — never presented as the closure.
+	found := map[uint64]bool{reset: true}
+	r := rng.New(opt.SampleSeed)
+	for seq := 0; seq < opt.SampleSequences; seq++ {
+		a.ResetSet(0)
+		for step := 0; step < opt.SampleLength; step++ {
+			sym := r.Intn(ways + 1)
+			if sym == ways {
+				sym = MissSymbol
+			}
+			Apply(a, sym)
+			found[a.PackedState(0)] = true
+		}
+	}
+	sp.Exhaustive = false
+	sp.SampledSequences = opt.SampleSequences
+	sp.States = sortedKeys(found)
+	if hasTheory {
+		sp.Coverage = float64(len(sp.States)) / theory
+	} else {
+		sp.Coverage = math.NaN()
+	}
+	return sp
+}
+
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

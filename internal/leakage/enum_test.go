@@ -1,0 +1,176 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/replacement"
+)
+
+func TestEnumerateMatchesTheory(t *testing.T) {
+	cases := []struct {
+		kind replacement.Kind
+		ways []int
+	}{
+		{replacement.TrueLRU, []int{2, 3, 4, 8}},
+		{replacement.TreePLRU, []int{2, 4, 8, 16}},
+		{replacement.BitPLRU, []int{2, 4, 8, 16}},
+		{replacement.FIFO, []int{2, 4, 8, 16}},
+	}
+	for _, c := range cases {
+		for _, ways := range c.ways {
+			sp := Enumerate(c.kind, ways, Options{})
+			want, ok := TheoreticalStates(c.kind, ways)
+			if !ok {
+				t.Fatalf("%v: no analytic count", c.kind)
+			}
+			if !sp.Exhaustive {
+				t.Errorf("%v/%d: BFS did not complete", c.kind, ways)
+			}
+			if got := float64(len(sp.States)); got != want {
+				t.Errorf("%v/%d: %v reachable states, theory says %v", c.kind, ways, got, want)
+			}
+			if sp.Coverage != 1 {
+				t.Errorf("%v/%d: exhaustive coverage %v, want 1", c.kind, ways, sp.Coverage)
+			}
+			if got, want := sp.Bound(), math.Log2(float64(len(sp.States))); got != want {
+				t.Errorf("%v/%d: bound %v, want %v", c.kind, ways, got, want)
+			}
+		}
+	}
+}
+
+func TestEnumerateStatesSortedAndQueryable(t *testing.T) {
+	sp := Enumerate(replacement.TreePLRU, 8, Options{})
+	for i := 1; i < len(sp.States); i++ {
+		if sp.States[i-1] >= sp.States[i] {
+			t.Fatalf("states not strictly ascending at %d", i)
+		}
+	}
+	for _, s := range sp.States {
+		if !sp.Contains(s) {
+			t.Errorf("Contains(%#x) = false for an enumerated state", s)
+		}
+	}
+	// Tree-PLRU/8 reaches all 128 node-bit combinations, so the first
+	// word outside the packed range must be absent.
+	if sp.Contains(1 << 7) {
+		t.Error("Contains reports a state beyond the 7 node bits")
+	}
+}
+
+func TestEnumerateOrderIndependence(t *testing.T) {
+	for _, kind := range []replacement.Kind{replacement.TrueLRU, replacement.TreePLRU, replacement.BitPLRU, replacement.FIFO} {
+		canon := Enumerate(kind, 8, Options{})
+		for _, seed := range []uint64{1, 2, 77} {
+			got := Enumerate(kind, 8, Options{OrderSeed: seed})
+			if len(got.States) != len(canon.States) {
+				t.Fatalf("%v OrderSeed=%d: %d states, canonical %d",
+					kind, seed, len(got.States), len(canon.States))
+			}
+			for i := range got.States {
+				if got.States[i] != canon.States[i] {
+					t.Fatalf("%v OrderSeed=%d: state[%d] = %#x, canonical %#x",
+						kind, seed, i, got.States[i], canon.States[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateSampledFallback forces sampling with a tiny MaxStates on
+// a space whose closure is known, and checks the accounting: a strict
+// certified subset, the advertised coverage, and no states outside the
+// true closure.
+func TestEnumerateSampledFallback(t *testing.T) {
+	full := Enumerate(replacement.TreePLRU, 8, Options{})
+	sp := Enumerate(replacement.TreePLRU, 8, Options{MaxStates: 16, SampleSequences: 64, SampleLength: 32})
+	if sp.Exhaustive {
+		t.Fatal("MaxStates=16 still reported exhaustive")
+	}
+	if sp.SampledSequences != 64 {
+		t.Errorf("SampledSequences = %d, want 64", sp.SampledSequences)
+	}
+	for _, s := range sp.States {
+		if !full.Contains(s) {
+			t.Errorf("sampled state %#x is outside the true closure", s)
+		}
+	}
+	if want := float64(len(sp.States)) / 128; math.Abs(sp.Coverage-want) > 1e-12 {
+		t.Errorf("coverage %v, want %v", sp.Coverage, want)
+	}
+}
+
+// TestEnumerateSampledConverges grows the sampling budget and demands
+// coverage climb to the exhaustive answer on Tree-PLRU at 4 and 8 ways.
+func TestEnumerateSampledConverges(t *testing.T) {
+	for _, ways := range []int{4, 8} {
+		prev := 0
+		for _, seqs := range []int{1, 8, 256} {
+			sp := Enumerate(replacement.TreePLRU, ways, Options{MaxStates: 2, SampleSequences: seqs})
+			if len(sp.States) < prev {
+				t.Errorf("TreePLRU/%d: coverage fell from %d to %d states at %d sequences",
+					ways, prev, len(sp.States), seqs)
+			}
+			prev = len(sp.States)
+		}
+		want, _ := TheoreticalStates(replacement.TreePLRU, ways)
+		if float64(prev) != want {
+			t.Errorf("TreePLRU/%d: sampling plateaued at %d of %v states", ways, prev, want)
+		}
+	}
+}
+
+func TestEnumerateLRU16Samples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quarter-million-state BFS prefix")
+	}
+	sp := Enumerate(replacement.TrueLRU, 16, Options{SampleSequences: 32})
+	if sp.Exhaustive {
+		t.Fatal("true LRU at 16 ways reported exhaustive (16! states)")
+	}
+	if sp.Coverage >= 1e-6 {
+		t.Errorf("coverage %v, want a vanishing fraction of 16!", sp.Coverage)
+	}
+	if len(sp.States) == 0 {
+		t.Error("sampling found no states")
+	}
+}
+
+func TestEnumeratePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"random":  func() { Enumerate(replacement.Random, 4, Options{}) },
+		"lru >16": func() { Enumerate(replacement.TrueLRU, 24, Options{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTheoreticalStates(t *testing.T) {
+	for _, c := range []struct {
+		kind replacement.Kind
+		ways int
+		want float64
+	}{
+		{replacement.TrueLRU, 4, 24},
+		{replacement.TrueLRU, 8, 40320},
+		{replacement.TreePLRU, 8, 128},
+		{replacement.BitPLRU, 8, 255},
+		{replacement.FIFO, 8, 8},
+	} {
+		got, ok := TheoreticalStates(c.kind, c.ways)
+		if !ok || got != c.want {
+			t.Errorf("TheoreticalStates(%v, %d) = %v, %v; want %v", c.kind, c.ways, got, ok, c.want)
+		}
+	}
+	if _, ok := TheoreticalStates(replacement.Random, 8); ok {
+		t.Error("Random reported an analytic state count")
+	}
+}

@@ -1,0 +1,69 @@
+package leakage
+
+import (
+	"testing"
+
+	"repro/internal/replacement"
+)
+
+// FuzzStateEnumeration pins the two contracts the leakage bound rests
+// on. Closure: no access sequence, however adversarial, drives a set
+// into a packed state outside the enumerated reachable set — if it
+// could, log2(|states|) would not be a ceiling. Order independence:
+// BFS with a shuffled frontier and a shuffled alphabet returns the
+// identical canonical state list, so the golden is a property of the
+// policy, not of the traversal.
+func FuzzStateEnumeration(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 4})
+	f.Add([]byte{1, 1, 8, 8, 0, 0, 5, 2})
+	f.Add([]byte{2, 2, 0xff, 0x01, 0x80, 0x7f})
+	f.Add([]byte{3, 0, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, trace []byte) {
+		if len(trace) < 2 {
+			return
+		}
+		// Byte 0 picks the policy, byte 1 the associativity; the rest is
+		// the access sequence, each byte one alphabet symbol.
+		kinds := []replacement.Kind{
+			replacement.TrueLRU, replacement.TreePLRU, replacement.BitPLRU, replacement.FIFO,
+		}
+		kind := kinds[int(trace[0])%len(kinds)]
+		ways := 1 << (1 + int(trace[1])%3) // 2, 4, 8
+		sp := Enumerate(kind, ways, Options{})
+		if !sp.Exhaustive {
+			t.Fatalf("%v/%d: not exhaustive at these sizes", kind, ways)
+		}
+
+		a := replacement.NewSetArray(kind, 1, ways, nil)
+		if !sp.Contains(a.PackedState(0)) {
+			t.Fatalf("%v/%d: power-on state %#x not enumerated", kind, ways, a.PackedState(0))
+		}
+		for step, b := range trace[2:] {
+			sym := int(b) % (ways + 1)
+			if sym == ways {
+				sym = MissSymbol
+			}
+			Apply(a, sym)
+			if s := a.PackedState(0); !sp.Contains(s) {
+				t.Fatalf("%v/%d step %d (sym %d): state %#x escaped the enumerated set",
+					kind, ways, step, sym, s)
+			}
+		}
+
+		// Order independence: derive a traversal shuffle from the input.
+		var seed uint64
+		for _, b := range trace {
+			seed = seed*131 + uint64(b) + 1
+		}
+		shuffled := Enumerate(kind, ways, Options{OrderSeed: seed})
+		if len(shuffled.States) != len(sp.States) {
+			t.Fatalf("%v/%d OrderSeed=%d: %d states, canonical %d",
+				kind, ways, seed, len(shuffled.States), len(sp.States))
+		}
+		for i := range shuffled.States {
+			if shuffled.States[i] != sp.States[i] {
+				t.Fatalf("%v/%d OrderSeed=%d: state[%d] differs", kind, ways, seed, i)
+			}
+		}
+	})
+}

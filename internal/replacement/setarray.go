@@ -298,6 +298,79 @@ func (a *SetArray) victimLRU(set int) int {
 	return best
 }
 
+// maxPackedLRUWays is the widest true-LRU associativity whose age
+// vector still fits the one-word canonical encoding of PackedState:
+// above 8 ways the ages leave the byte-lane fast path, but up to 16
+// ways each age (<= 15) still fits a 4-bit lane.
+const maxPackedLRUWays = 16
+
+// StatePackable reports whether the array's per-set replacement state
+// has a canonical one-word encoding (PackedState/SetPackedState). It is
+// false only for Random — which keeps no state — and for true LRU wider
+// than 16 ways, whose age vector no longer fits 4-bit lanes.
+func (a *SetArray) StatePackable() bool {
+	switch a.kind {
+	case Random:
+		return false
+	case TrueLRU:
+		return a.ways <= maxPackedLRUWays
+	default:
+		return true
+	}
+}
+
+// PackedState exports one set's replacement state as a canonical
+// machine word — the state-space iteration hook behind
+// internal/leakage. For the word-backed families (Tree-PLRU, Bit-PLRU,
+// FIFO, and true LRU at <= 8 ways) it is the packed word itself; wide
+// true LRU (9..16 ways) packs each age into a 4-bit lane. Two sets are
+// in the same replacement state if and only if their PackedState words
+// are equal. It panics when !StatePackable().
+func (a *SetArray) PackedState(set int) uint64 {
+	if debugChecks {
+		checkSet(set, a.sets)
+	}
+	if a.ages != nil {
+		if a.ways > maxPackedLRUWays {
+			panic("replacement: true-LRU state beyond 16 ways exceeds one word")
+		}
+		row := a.ages[set*a.ways : set*a.ways+a.ways]
+		var s uint64
+		for w, age := range row {
+			s |= uint64(age) << uint(4*w)
+		}
+		return s
+	}
+	if a.words == nil {
+		panic("replacement: Random policy keeps no replacement state")
+	}
+	return a.words[set]
+}
+
+// SetPackedState restores one set to a state previously exported by
+// PackedState on an array of the same kind and associativity. Like the
+// Touch/Fill hot path it does not validate the word — the enumeration
+// callers only replay states the array itself produced.
+func (a *SetArray) SetPackedState(set int, s uint64) {
+	if debugChecks {
+		checkSet(set, a.sets)
+	}
+	if a.ages != nil {
+		if a.ways > maxPackedLRUWays {
+			panic("replacement: true-LRU state beyond 16 ways exceeds one word")
+		}
+		row := a.ages[set*a.ways : set*a.ways+a.ways]
+		for w := range row {
+			row[w] = uint8(s >> uint(4*w) & 0xf)
+		}
+		return
+	}
+	if a.words == nil {
+		panic("replacement: Random policy keeps no replacement state")
+	}
+	a.words[set] = s
+}
+
 // Reset restores every set to its power-on state.
 func (a *SetArray) Reset() {
 	for s := 0; s < a.sets; s++ {

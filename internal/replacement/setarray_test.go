@@ -84,6 +84,104 @@ func TestSetArrayResetSetMatchesPowerOn(t *testing.T) {
 	}
 }
 
+// TestPackedStateRoundTrip drives a set through traffic, exports its
+// state, imports it into a fresh array, and demands the two behave
+// identically from then on — PackedState must be a complete, canonical
+// capture of the replacement state.
+func TestPackedStateRoundTrip(t *testing.T) {
+	for _, ways := range []int{2, 4, 8, 16} {
+		for _, kind := range []Kind{TrueLRU, TreePLRU, BitPLRU, FIFO} {
+			src := NewSetArray(kind, 1, ways, nil)
+			if !src.StatePackable() {
+				t.Fatalf("%v/%d: not packable", kind, ways)
+			}
+			for i := 0; i < 3*ways; i++ {
+				src.Touch(0, (i*5)%ways)
+				src.Fill(0, src.Victim(0))
+			}
+			word := src.PackedState(0)
+			dst := NewSetArray(kind, 1, ways, nil)
+			dst.SetPackedState(0, word)
+			if got, want := dst.StateString(0), src.StateString(0); got != want {
+				t.Errorf("%v/%d: restored state %q, want %q", kind, ways, got, want)
+			}
+			if dst.PackedState(0) != word {
+				t.Errorf("%v/%d: re-export %#x, want %#x", kind, ways, dst.PackedState(0), word)
+			}
+			// The restored set must evolve in lock-step with the source.
+			for i := 0; i < 2*ways; i++ {
+				src.Touch(0, (i*3)%ways)
+				dst.Touch(0, (i*3)%ways)
+				if src.Victim(0) != dst.Victim(0) {
+					t.Fatalf("%v/%d: victims diverge after restore", kind, ways)
+				}
+				src.Fill(0, src.Victim(0))
+				dst.Fill(0, dst.Victim(0))
+			}
+			if src.PackedState(0) != dst.PackedState(0) {
+				t.Errorf("%v/%d: states diverge after restore", kind, ways)
+			}
+		}
+	}
+}
+
+// TestPackedStateDistinguishesStates checks the canonical-word contract
+// both ways on a small exhaustive walk: equal words iff equal
+// StateString renderings.
+func TestPackedStateDistinguishesStates(t *testing.T) {
+	for _, kind := range []Kind{TrueLRU, TreePLRU, BitPLRU, FIFO} {
+		const ways = 4
+		seen := map[uint64]string{}
+		a := NewSetArray(kind, 1, ways, nil)
+		for i := 0; i < 500; i++ {
+			if i%3 == 0 {
+				a.Touch(0, (i*7)%ways)
+			} else {
+				a.Fill(0, a.Victim(0))
+			}
+			w, s := a.PackedState(0), a.StateString(0)
+			if prev, ok := seen[w]; ok && prev != s {
+				t.Fatalf("%v: word %#x renders both %q and %q", kind, w, prev, s)
+			}
+			seen[w] = s
+		}
+		render := map[string]uint64{}
+		for w, s := range seen {
+			if prev, ok := render[s]; ok && prev != w {
+				t.Fatalf("%v: state %q has two words %#x and %#x", kind, s, prev, w)
+			}
+			render[s] = w
+		}
+	}
+}
+
+func TestPackedStateUnpackablePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"random export": func() { NewSetArray(Random, 1, 4, rng.New(1)).PackedState(0) },
+		"random import": func() { NewSetArray(Random, 1, 4, rng.New(1)).SetPackedState(0, 0) },
+		"lru>16 export": func() { NewSetArray(TrueLRU, 1, 24, nil).PackedState(0) },
+		"lru>16 import": func() { NewSetArray(TrueLRU, 1, 24, nil).SetPackedState(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if NewSetArray(Random, 1, 4, rng.New(1)).StatePackable() {
+		t.Error("Random reports packable state")
+	}
+	if NewSetArray(TrueLRU, 1, 24, nil).StatePackable() {
+		t.Error("24-way true LRU reports packable state")
+	}
+	if !NewSetArray(TrueLRU, 1, 12, nil).StatePackable() {
+		t.Error("12-way true LRU must be packable (4-bit lanes)")
+	}
+}
+
 func TestNewSetArrayPanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"zero sets":          func() { NewSetArray(TrueLRU, 0, 8, nil) },

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/hier"
+	"repro/internal/leakage"
 	"repro/internal/replacement"
 	"repro/internal/sched"
 	"repro/internal/spectre"
@@ -101,6 +102,14 @@ type (
 	// AttackSchedule selects the attack's execution discipline:
 	// synchronous, SMT hyper-threads, or time-sliced sharing.
 	AttackSchedule = attack.Schedule
+	// LeakageStrategy tunes the leakage study's eviction probe.
+	LeakageStrategy = leakage.Strategy
+	// LeakageEnumOptions tunes the reachable-state-space enumerator.
+	LeakageEnumOptions = leakage.Options
+	// LeakageStateSpace is one policy's enumerated reachable state set.
+	LeakageStateSpace = leakage.StateSpace
+	// LeakageEval is one measured leakage cell (bits per observation).
+	LeakageEval = leakage.Result
 )
 
 // NewVictim constructs a victim program by kind name ("ttable",

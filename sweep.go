@@ -2,6 +2,8 @@ package lruleak
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/attack"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/engine"
 	"repro/internal/hier"
+	"repro/internal/leakage"
 	"repro/internal/mem"
 	"repro/internal/perfctr"
 	"repro/internal/rng"
@@ -863,5 +866,229 @@ func RenderSweep(cells []SweepCell) string {
 		}
 		b.WriteByte('\n')
 	}
+	return b.String()
+}
+
+// LeakageSpec parameterises the automated policy leakage study: a
+// reachable-state-space table (the information-theoretic ceiling per
+// policy family) and a ranked leaderboard of measured probing leakage
+// per policy x associativity x defense cell. The zero value is the
+// documented default grid.
+type LeakageSpec struct {
+	// Policies defaults to every family with replacement state (true
+	// LRU, Tree-PLRU, Bit-PLRU, FIFO). Random keeps no state and has
+	// no state space to enumerate.
+	Policies []ReplacementKind
+	// Ways is the leaderboard associativity axis (default {4, 8}; 8 is
+	// the Sandy Bridge L1 point the detect ROC study runs on).
+	Ways []int
+	// Defenses defaults to the full Section IX matrix.
+	Defenses []AttackDefense
+	// FillWindows is the random-fill window axis: the randomfill
+	// defense is scored once per window (default {4, 16, 64}; 16 is
+	// the canonical window every other table uses). Other defenses
+	// ignore it.
+	FillWindows []uint64
+	// SpaceWays is the state-space table's associativity axis (default
+	// {4, 8, 16}; 16 drives true LRU past the exhaustive cap and onto
+	// the sampled path, so the coverage accounting shows up in the
+	// rendered table).
+	SpaceWays []int
+	// Strategy tunes the eviction probe (zero fields take the
+	// leakage.Strategy defaults).
+	Strategy leakage.Strategy
+	// Enum tunes the enumerator (zero fields take the leakage.Options
+	// defaults).
+	Enum leakage.Options
+}
+
+// WithDefaults returns the spec with every zero-valued dimension
+// replaced by its documented default (see SweepSpec.WithDefaults).
+func (sp LeakageSpec) WithDefaults() LeakageSpec {
+	if len(sp.Policies) == 0 {
+		sp.Policies = []ReplacementKind{TrueLRU, TreePLRU, BitPLRU, FIFO}
+	}
+	if len(sp.Ways) == 0 {
+		sp.Ways = []int{4, 8}
+	}
+	if len(sp.Defenses) == 0 {
+		sp.Defenses = attack.Defenses()
+	}
+	if len(sp.FillWindows) == 0 {
+		sp.FillWindows = []uint64{4, 16, 64}
+	}
+	if len(sp.SpaceWays) == 0 {
+		sp.SpaceWays = []int{4, 8, 16}
+	}
+	return sp
+}
+
+// LeakageSpaceRow is one policy family's reachable-state-space summary
+// at one associativity.
+type LeakageSpaceRow struct {
+	Policy ReplacementKind
+	Ways   int
+	Space  leakage.StateSpace
+}
+
+// LeakageCell is one measured leaderboard entry. FillWindow is nonzero
+// only on randomfill rows. Bound is the state-space leakage ceiling
+// log2(TheoreticalStates) for the cell's policy family — the measured
+// Bits can never legitimately exceed it.
+type LeakageCell struct {
+	Policy     ReplacementKind
+	Ways       int
+	Defense    AttackDefense
+	FillWindow uint64
+	Bound      float64
+	Res        leakage.Result
+}
+
+// LeakageResult is the full study: the state-space table plus every
+// leaderboard cell in grid order (RenderLeakage ranks them).
+type LeakageResult struct {
+	Spaces []LeakageSpaceRow
+	Cells  []LeakageCell
+}
+
+// LeakageSweep runs the study through the engine: one job per
+// state-space enumeration and one per leaderboard cell, each seeded
+// from the grid position so the result is byte-identical at any worker
+// count.
+func LeakageSweep(spec LeakageSpec, seed uint64, opt RunOptions) LeakageResult {
+	spec = spec.WithDefaults()
+
+	type spaceID struct {
+		pol  ReplacementKind
+		ways int
+	}
+	var spaceIDs []spaceID
+	for _, pol := range spec.Policies {
+		for _, ways := range spec.SpaceWays {
+			spaceIDs = append(spaceIDs, spaceID{pol, ways})
+		}
+	}
+	type cellID struct {
+		pol    ReplacementKind
+		ways   int
+		def    AttackDefense
+		window uint64
+	}
+	var cellIDs []cellID
+	for _, pol := range spec.Policies {
+		for _, ways := range spec.Ways {
+			for _, def := range spec.Defenses {
+				if def == attack.DefenseRandomFill {
+					for _, w := range spec.FillWindows {
+						cellIDs = append(cellIDs, cellID{pol, ways, def, w})
+					}
+				} else {
+					cellIDs = append(cellIDs, cellID{pol, ways, def, 0})
+				}
+			}
+		}
+	}
+
+	seeds := engine.Seeds(seed, len(spaceIDs)+len(cellIDs))
+	spaceJobs := make([]engine.Job[leakage.StateSpace], len(spaceIDs))
+	for i, id := range spaceIDs {
+		id, enum := id, spec.Enum
+		spaceJobs[i] = engine.Job[leakage.StateSpace]{
+			Name: fmt.Sprintf("leakage/space/%v/ways=%d", id.pol, id.ways),
+			Seed: seeds[i],
+			Run: func(s uint64) leakage.StateSpace {
+				// The enumerator's sampling fallback is seeded from the grid,
+				// not the traversal: the canonical closure needs no seed.
+				enum.SampleSeed = s
+				return leakage.Enumerate(id.pol, id.ways, enum)
+			},
+		}
+	}
+	cellJobs := make([]engine.Job[leakage.Result], len(cellIDs))
+	for i, id := range cellIDs {
+		id := id
+		name := fmt.Sprintf("leakage/cell/%v/ways=%d/%v", id.pol, id.ways, id.def)
+		if id.def == attack.DefenseRandomFill {
+			name += fmt.Sprintf("/window=%d", id.window)
+		}
+		cellJobs[i] = engine.Job[leakage.Result]{
+			Name: name,
+			Seed: seeds[len(spaceIDs)+i],
+			Run: func(s uint64) leakage.Result {
+				return leakage.Eval(leakage.Config{
+					Policy: id.pol, Ways: id.ways, Defense: id.def,
+					FillWindow: id.window, Strategy: spec.Strategy, Seed: s,
+				})
+			},
+		}
+	}
+
+	var out LeakageResult
+	for i, sp := range engine.Values(engine.Run(spaceJobs, opt)) {
+		out.Spaces = append(out.Spaces, LeakageSpaceRow{
+			Policy: spaceIDs[i].pol, Ways: spaceIDs[i].ways, Space: sp,
+		})
+	}
+	for i, res := range engine.Values(engine.Run(cellJobs, opt)) {
+		id := cellIDs[i]
+		bound := math.Inf(1)
+		if n, ok := leakage.TheoreticalStates(id.pol, id.ways); ok {
+			bound = math.Log2(n)
+		}
+		out.Cells = append(out.Cells, LeakageCell{
+			Policy: id.pol, Ways: id.ways, Defense: id.def,
+			FillWindow: id.window, Bound: bound, Res: res,
+		})
+	}
+	return out
+}
+
+// RenderLeakage formats the study: the reachable-state-space table
+// (with explicit coverage accounting on sampled rows), then the
+// leaderboard ranked by measured bits per observation, descending;
+// ties keep grid order, so the ranking is deterministic. Randomized
+// cells are marked est (surrogate-corrected estimate) rather than
+// exact, and the footnote carries the Cañones–Köpf–Reineke caveat:
+// ranked leakage under ONE probing strategy is not a total order on
+// policies — orderings may legitimately differ under another probe.
+func RenderLeakage(res LeakageResult) string {
+	var b strings.Builder
+	b.WriteString("Reachable replacement-state spaces (per set, BFS over the hit/miss access alphabet)\n")
+	b.WriteString("Policy      Ways  States     Theory     Coverage  Ceiling     Mode\n")
+	for _, row := range res.Spaces {
+		theory := "-"
+		if n, ok := leakage.TheoreticalStates(row.Policy, row.Ways); ok {
+			theory = fmt.Sprintf("%.4g", n)
+		}
+		mode := "exhaustive"
+		if !row.Space.Exhaustive {
+			mode = fmt.Sprintf("sampled(%d seqs)", row.Space.SampledSequences)
+		}
+		fmt.Fprintf(&b, "%-10v  %-4d  %-9d  %-9s  %-8.3g  %5.1f bits  %s\n",
+			row.Policy, row.Ways, len(row.Space.States), theory,
+			row.Space.Coverage, row.Space.Bound(), mode)
+	}
+
+	ranked := make([]LeakageCell, len(res.Cells))
+	copy(ranked, res.Cells)
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Res.Bits > ranked[j].Res.Bits })
+
+	b.WriteString("\nLeakage leaderboard (bits per probe observation, eviction-probe strategy, ranked)\n")
+	b.WriteString("Rank  Policy      Ways  Defense       Window  Bits/obs  Ceiling  Obs   Kind\n")
+	for i, c := range ranked {
+		window := "-"
+		if c.Defense == attack.DefenseRandomFill {
+			window = fmt.Sprintf("%d", c.FillWindow)
+		}
+		kind := "exact"
+		if !c.Res.Deterministic {
+			kind = "est"
+		}
+		fmt.Fprintf(&b, "%-4d  %-10v  %-4d  %-12v  %-6s  %8.3f  %7.1f  %-4d  %s\n",
+			i+1, c.Policy, c.Ways, c.Defense, window, c.Res.Bits, c.Bound,
+			c.Res.DistinctObs, kind)
+	}
+	b.WriteString("\nRanking is per this probe only: policies are incomparable in general\n")
+	b.WriteString("(Cañones–Köpf–Reineke), and a different probing strategy may order them differently.\n")
 	return b.String()
 }
